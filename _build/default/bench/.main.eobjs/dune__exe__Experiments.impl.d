@@ -1,0 +1,1 @@
+bench/experiments.ml: Afex Afex_cluster Afex_faultspace Afex_injector Afex_quality Afex_report Afex_simtarget Afex_stats Array List Printf String

@@ -1,0 +1,787 @@
+(* Regeneration of every table and figure in the paper's evaluation (§7).
+
+   Each experiment prints the paper's numbers next to the measured ones.
+   Absolute values are not expected to match (the targets are simulated
+   models, not the authors' testbed); the comparisons of interest are who
+   wins and by roughly what factor. *)
+
+module Subspace = Afex_faultspace.Subspace
+module Axis = Afex_faultspace.Axis
+module Shuffle = Afex_faultspace.Shuffle
+module Rng = Afex_stats.Rng
+module Bitset = Afex_stats.Bitset
+module Target = Afex_simtarget.Target
+module Libc = Afex_simtarget.Libc
+module Coreutils = Afex_simtarget.Coreutils
+module Mysql = Afex_simtarget.Mysql
+module Apache = Afex_simtarget.Apache
+module Mongodb = Afex_simtarget.Mongodb
+module Fault = Afex_injector.Fault
+module Engine = Afex_injector.Engine
+module Outcome = Afex_injector.Outcome
+module Relevance = Afex_quality.Relevance
+module Config = Afex.Config
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+module Table = Afex_report.Table
+module Figure = Afex_report.Figure
+module Simulation = Afex_cluster.Simulation
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n\n"
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+let pct count total =
+  if total = 0 then "0%" else Printf.sprintf "%d%%" (100 * count / total)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 1: structure of the ls fault space                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1: fault space structure of the `ls` utility";
+  let target = Coreutils.ls_target () in
+  let funcs = Coreutils.ls_fig1_functions in
+  let tests = List.init (Target.n_tests target) (fun i -> i) in
+  let funcs_a = Array.of_list funcs in
+  let cell ~row ~col =
+    let fault =
+      Fault.make ~test_id:(List.nth tests row) ~func:funcs_a.(col) ~call_number:1 ()
+    in
+    let outcome = Engine.run target fault in
+    if not outcome.Outcome.triggered then None else Some (Outcome.failed outcome)
+  in
+  print_string
+    (Figure.impact_matrix ~col_labels:funcs
+       ~row_labels:(List.map (fun i -> Printf.sprintf "test %2d" (i + 1)) tests)
+       ~cell);
+  note "Paper: black/gray bands cluster by function and by test group;";
+  note "the same vertical/horizontal correlation should be visible above."
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: MySQL                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ?(iterations = 6000) () =
+  section
+    (Printf.sprintf
+       "Table 1: MySQL — suite vs fitness-guided vs random (%d iterations\n\
+        as the 24-hour budget stand-in)" iterations);
+  let target = Mysql.target () in
+  let sub = Mysql.space () in
+  note "Fault space |Phi_MySQL| = %d (paper: 2,179,300)" (Subspace.cardinality sub);
+  let executor = Afex.Executor.of_target target in
+  let suite_cov = Bitset.count (Engine.suite_coverage target) in
+  let total = Target.total_blocks target in
+  let fg = Session.run ~iterations (Config.fitness_guided ~seed:101 ()) sub executor in
+  let rnd = Session.run ~iterations (Config.random_search ~seed:101 ()) sub executor in
+  let row name cov failed crashes =
+    [ name; cov; string_of_int failed; string_of_int crashes ]
+  in
+  print_string
+    (Table.render
+       ~headers:[ "MySQL"; "Coverage"; "# failed tests"; "# crashes" ]
+       ~rows:
+         [
+           row "test suite (no injection)"
+             (Printf.sprintf "%.2f%%" (100.0 *. float_of_int suite_cov /. float_of_int total))
+             0 0;
+           row "fitness-guided"
+             (Printf.sprintf "%.2f%%" fg.Session.coverage_percent)
+             fg.Session.failed fg.Session.crashed;
+           row "random"
+             (Printf.sprintf "%.2f%%" rnd.Session.coverage_percent)
+             rnd.Session.failed rnd.Session.crashed;
+         ]
+       ());
+  note "";
+  note "Paper: suite 54.10%% / 0 / 0; fitness 52.15%% / 1,681 / 464; random 53.14%% / 575 / 51";
+  note "Measured ratios: failed %s, crashes %s (paper: ~2.9x and ~9.1x)"
+    (Table.fmt_ratio (float_of_int fg.Session.failed) (float_of_int rnd.Session.failed))
+    (Table.fmt_ratio (float_of_int fg.Session.crashed) (float_of_int rnd.Session.crashed));
+  (* Did the search rediscover the two planted real-world bugs? *)
+  let reps = Session.crash_cluster_representatives fg in
+  let found stack_name stack =
+    let hit =
+      List.exists
+        (fun (c : Test_case.t) -> c.Test_case.crash_stack = Some stack)
+        reps
+      || List.exists
+           (fun (c : Test_case.t) -> c.Test_case.crash_stack = Some stack)
+           fg.Session.executed
+    in
+    note "bug %-28s: %s" stack_name (if hit then "FOUND" else "not found")
+  in
+  List.iter (fun (name, stack) -> found name stack) (Mysql.known_bug_stacks ());
+  note "final axis sensitivities (testId, function, callNumber): %s"
+    (String.concat ", "
+       (List.map (Printf.sprintf "%.2f") (Array.to_list fg.Session.sensitivity)));
+  note "(paper \u{00A7}7.3: MySQL converged to ~0.4 / ~0.1 / ~0.4)"
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: Apache httpd                                               *)
+(* ------------------------------------------------------------------ *)
+
+let table2 ?(iterations = 1000) () =
+  section "Table 2: Apache httpd — fitness-guided vs random, 1,000 iterations";
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  note "Fault space |Phi_Apache| = %d (paper: 11,020)" (Subspace.cardinality sub);
+  let executor = Afex.Executor.of_target target in
+  let fg = Session.run ~iterations (Config.fitness_guided ~seed:202 ()) sub executor in
+  let rnd = Session.run ~iterations (Config.random_search ~seed:202 ()) sub executor in
+  print_string
+    (Table.render
+       ~headers:[ "Apache httpd"; "Fitness-guided"; "Random" ]
+       ~rows:
+         [
+           [ "# failed tests"; string_of_int fg.Session.failed; string_of_int rnd.Session.failed ];
+           [ "# crashes"; string_of_int fg.Session.crashed; string_of_int rnd.Session.crashed ];
+         ]
+       ());
+  note "";
+  note "Paper: failed 736 vs 238 (3.1x), crashes 246 vs 21 (11.7x)";
+  note "Measured ratios: failed %s, crashes %s"
+    (Table.fmt_ratio (float_of_int fg.Session.failed) (float_of_int rnd.Session.failed))
+    (Table.fmt_ratio (float_of_int fg.Session.crashed) (float_of_int rnd.Session.crashed));
+  (* Fig. 7 bug manifestations. *)
+  let bug_stacks = Apache.known_bug_stacks () in
+  List.iter
+    (fun (name, stack) ->
+      let count result =
+        List.length
+          (List.filter
+             (fun (c : Test_case.t) -> c.Test_case.crash_stack = Some stack)
+             result.Session.executed)
+      in
+      note "manifestations of %s: fitness %d, random %d (paper: 27 vs 0)" name (count fg)
+        (count rnd))
+    bug_stacks
+
+(* ------------------------------------------------------------------ *)
+(* Table 3 and the recovery-coverage analysis of §7.2                  *)
+(* ------------------------------------------------------------------ *)
+
+let table3 ?(iterations = 250) () =
+  section "Table 3: coreutils — fitness vs random (250 samples) vs exhaustive";
+  let target = Coreutils.target () in
+  let sub = Coreutils.space () in
+  let cardinality = Subspace.cardinality sub in
+  note "Fault space |Phi_coreutils| = %d (paper: 1,653)" cardinality;
+  let executor = Afex.Executor.of_target target in
+  let fg = Session.run ~iterations (Config.fitness_guided ~seed:303 ()) sub executor in
+  let rnd = Session.run ~iterations (Config.random_search ~seed:303 ()) sub executor in
+  let exh = Session.run ~iterations:cardinality (Config.exhaustive ~seed:303 ()) sub executor in
+  print_string
+    (Table.render
+       ~headers:[ "coreutils"; "Fitness-guided"; "Random"; "Exhaustive" ]
+       ~rows:
+         [
+           [
+             "Code coverage";
+             Printf.sprintf "%.2f%%" fg.Session.coverage_percent;
+             Printf.sprintf "%.2f%%" rnd.Session.coverage_percent;
+             Printf.sprintf "%.2f%%" exh.Session.coverage_percent;
+           ];
+           [
+             "# tests executed";
+             string_of_int fg.Session.iterations;
+             string_of_int rnd.Session.iterations;
+             string_of_int exh.Session.iterations;
+           ];
+           [
+             "# failed tests";
+             string_of_int fg.Session.failed;
+             string_of_int rnd.Session.failed;
+             string_of_int exh.Session.failed;
+           ];
+         ]
+       ());
+  note "";
+  note "Paper: coverage 36.14%% / 35.84%% / 36.17%%; failed 74 / 32 / 205";
+  note "Measured fitness/random failed ratio: %s (paper: 2.3x)"
+    (Table.fmt_ratio (float_of_int fg.Session.failed) (float_of_int rnd.Session.failed));
+  (* Recovery-code coverage arithmetic (§7.2). *)
+  let total = Target.total_blocks target in
+  let suite_cov = Bitset.count (Engine.suite_coverage target) in
+  let recovery_total = Target.recovery_blocks_total target in
+  let exh_extra = exh.Session.covered_blocks - suite_cov in
+  let fg_extra = fg.Session.covered_blocks - suite_cov in
+  note "";
+  note "Recovery-code analysis (cf. \u{00A7}7.2):";
+  note "  suite coverage without injection : %.2f%% (%d blocks)"
+    (100.0 *. float_of_int suite_cov /. float_of_int total)
+    suite_cov;
+  note "  recovery-only blocks in target   : %d (%.2f%% of code)" recovery_total
+    (100.0 *. float_of_int recovery_total /. float_of_int total);
+  note "  extra blocks, exhaustive         : %d (all reachable recovery code)" exh_extra;
+  note "  extra blocks, fitness @ %d      : %d (%s of reachable recovery code, \
+        sampling %.0f%%%% of the space)"
+    iterations fg_extra
+    (if exh_extra = 0 then "-" else Printf.sprintf "%d%%" (100 * fg_extra / exh_extra))
+    (100.0 *. float_of_int iterations /. float_of_int cardinality);
+  note "  (paper: 95%% of recovery code covered while sampling 15%% of the space)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: failures vs iteration                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 ?(iterations = 500) () =
+  section "Figure 8: cumulative test failures, fitness-guided vs random";
+  let target = Coreutils.target () in
+  let sub = Coreutils.space () in
+  let executor = Afex.Executor.of_target target in
+  let fg = Session.run ~iterations (Config.fitness_guided ~seed:808 ()) sub executor in
+  let rnd = Session.run ~iterations (Config.random_search ~seed:808 ()) sub executor in
+  let to_floats a = Array.map float_of_int a in
+  print_string
+    (Figure.line_chart
+       ~series:
+         [
+           ("fitness-guided", to_floats fg.Session.failure_curve);
+           ("random", to_floats rnd.Session.failure_curve);
+         ]
+       ~x_label:"iteration (#faults sampled)" ~y_label:"cumulative test failures" ());
+  note "Paper: the gap between the curves widens with iteration count as the";
+  note "fitness-guided search infers the space structure."
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: benefit of fault space structure                           *)
+(* ------------------------------------------------------------------ *)
+
+let table4 ?(iterations = 1000)
+    ?(seeds = [ 404; 405; 406; 407; 408; 409; 410; 411; 412; 413 ]) () =
+  section
+    (Printf.sprintf
+       "Table 4: efficiency under structure loss (Apache httpd, mean of %d seeds)"
+       (List.length seeds));
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target target in
+  (* Each variant runs under several (search seed, shuffle seed) pairs and
+     reports mean counts: a single shuffle can accidentally preserve some
+     structure, so the effect only shows in expectation. *)
+  let mean_of run_variant =
+    let totals =
+      List.map
+        (fun seed ->
+          let r = run_variant seed in
+          (r.Session.failed, r.Session.crashed))
+        seeds
+    in
+    let n = List.length seeds in
+    let f = List.fold_left (fun acc (x, _) -> acc + x) 0 totals / n in
+    let c = List.fold_left (fun acc (_, x) -> acc + x) 0 totals / n in
+    (f, c)
+  in
+  let fitness_with transform seed =
+    Session.run ?transform ~iterations (Config.fitness_guided ~seed ()) sub executor
+  in
+  let original = mean_of (fun seed -> fitness_with None seed) in
+  let shuffled axis =
+    mean_of (fun seed ->
+        let sh = Shuffle.shuffle_axis (Rng.create (9000 + (17 * seed) + axis)) sub ~axis in
+        fitness_with (Some (Shuffle.to_target sh)) seed)
+  in
+  let r_test = shuffled 0 in
+  let r_func = shuffled 1 in
+  let r_call = shuffled 2 in
+  let random =
+    mean_of (fun seed ->
+        Session.run ~iterations (Config.random_search ~seed ()) sub executor)
+  in
+  let results =
+    [
+      ("Original structure", original);
+      ("Rand. Xtest", r_test);
+      ("Rand. Xfunc", r_func);
+      ("Rand. Xcall", r_call);
+      ("Random search", random);
+    ]
+  in
+  print_string
+    (Table.render
+       ~headers:("Apache httpd" :: List.map fst results)
+       ~rows:
+         [
+           "% failed tests"
+           :: List.map (fun (_, (f, _)) -> pct f iterations) results;
+           "% crashes" :: List.map (fun (_, (_, c)) -> pct c iterations) results;
+         ]
+       ());
+  note "";
+  note "Paper: failed 73%% / 59%% / 43%% / 48%% / 23%%; crashes 25%% / 22%% / 13%% / 17%% / 2%%";
+  note "Expected shape: every shuffled axis degrades the guided search, and";
+  note "uninformed random search is worst."
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: result-quality feedback                                    *)
+(* ------------------------------------------------------------------ *)
+
+let table5 ?(iterations = 1000) () =
+  section "Table 5: redundancy feedback (Apache httpd, 1,000 iterations)";
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target target in
+  let fg = Session.run ~iterations (Config.fitness_guided ~seed:505 ()) sub executor in
+  let fgf =
+    Session.run ~iterations
+      { (Config.fitness_guided ~seed:505 ()) with Config.feedback = true }
+      sub executor
+  in
+  let rnd = Session.run ~iterations (Config.random_search ~seed:505 ()) sub executor in
+  let row name f = [ name; f fg; f fgf; f rnd ] in
+  print_string
+    (Table.render
+       ~headers:[ "Apache httpd"; "Fitness"; "Fitness+feedback"; "Random" ]
+       ~rows:
+         [
+           row "# failed tests" (fun r -> string_of_int r.Session.failed);
+           row "# unique failures" (fun r -> string_of_int r.Session.distinct_failure_traces);
+           row "# unique crashes" (fun r -> string_of_int r.Session.distinct_crash_traces);
+         ]
+       ());
+  note "";
+  note "Paper: failed 736 / 512 / 238; unique failures 249 / 348 / 190; unique crashes 4 / 7 / 2";
+  note "Expected shape: feedback trades raw failure count for more unique";
+  note "failures and crashes."
+
+(* ------------------------------------------------------------------ *)
+(* Table 6: system-specific knowledge                                  *)
+(* ------------------------------------------------------------------ *)
+
+let count_malloc_target_faults target test_ids =
+  (* Exhaustively enumerate the malloc faults at call numbers 1-2 in the
+     given tests and count those that fail — the ground truth for the
+     "find all K" search target. *)
+  let failing = ref [] in
+  List.iter
+    (fun test_id ->
+      List.iter
+        (fun call_number ->
+          let fault = Fault.make ~test_id ~func:"malloc" ~call_number () in
+          let outcome = Engine.run target fault in
+          if Outcome.failed outcome then failing := fault :: !failing)
+        [ 1; 2 ])
+    test_ids;
+  List.rev !failing
+
+let table6 ?(cap = 30000) () =
+  section "Table 6: leveraging system-specific knowledge (ln + mv, coreutils)";
+  let target = Coreutils.target () in
+  let executor = Afex.Executor.of_target target in
+  let ln_mv = Coreutils.ln_mv_test_ids in
+  let goal = List.length (count_malloc_target_faults target ln_mv) in
+  note "Ground truth: %d malloc faults fail ln/mv (paper: 28)" goal;
+  let matches (c : Test_case.t) =
+    Test_case.failed c
+    && String.equal c.Test_case.fault.Fault.func "malloc"
+    && List.mem c.Test_case.fault.Fault.test_id ln_mv
+    && c.Test_case.fault.Fault.call_number >= 1
+    && c.Test_case.fault.Fault.call_number <= 2
+  in
+  let stop = { Session.matches; count = goal } in
+  let full_space = Coreutils.space () in
+  let trimmed_space =
+    Afex_simtarget.Spaces.standard ~min_call:0 ~max_call:2
+      ~funcs:Coreutils.trimmed_functions target
+  in
+  let env_relevance = Relevance.of_weights ~default:0.02 Coreutils.env_model in
+  let run config sub =
+    let r = Session.run ~stop ~iterations:cap config sub executor in
+    match r.Session.stop_iteration with
+    | Some i -> string_of_int i
+    | None -> Printf.sprintf ">%d" r.Session.iterations
+  in
+  let fitness sub relevance seed =
+    run { (Config.fitness_guided ~seed ()) with Config.relevance } sub
+  in
+  let exhaustive sub seed = run (Config.exhaustive ~seed ()) sub in
+  let random sub seed = run (Config.random_search ~seed ()) sub in
+  let rows =
+    [
+      [
+        "Black-box AFEX";
+        fitness full_space None 601;
+        exhaustive full_space 601;
+        random full_space 601;
+      ];
+      [
+        "Trimmed fault space";
+        fitness trimmed_space None 602;
+        exhaustive trimmed_space 602;
+        random trimmed_space 602;
+      ];
+      [
+        "Trim + env. model";
+        fitness trimmed_space (Some env_relevance) 603;
+        exhaustive trimmed_space 603;
+        random trimmed_space 603;
+      ];
+    ]
+  in
+  print_string
+    (Table.render
+       ~headers:
+         [ "Knowledge level"; "Fitness-guided"; "Exhaustive"; "Random" ]
+       ~rows ());
+  note "";
+  note "(samples needed to find all %d malloc faults; lower is better)" goal;
+  note "Paper: black-box 417 / 1,653 / 836; trimmed 213 / 783 / 391;";
+  note "       trim+env 103 / 783 / 391";
+  note "Expected shape: trimming roughly halves the fitness-guided cost and";
+  note "the environment model halves it again; both beat exhaustive/random."
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: MongoDB development stages                                  *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 ?(iterations = 250) () =
+  section "Figure 9: AFEX efficiency across MongoDB development stages";
+  let run target sub seed config_of =
+    let executor = Afex.Executor.of_target target in
+    Session.run ~iterations (config_of ?seed:(Some seed) ()) sub executor
+  in
+  let fg08 = run (Mongodb.target_v08 ()) (Mongodb.space_v08 ()) 904 Config.fitness_guided in
+  let rnd08 = run (Mongodb.target_v08 ()) (Mongodb.space_v08 ()) 904 Config.random_search in
+  let fg20 = run (Mongodb.target_v20 ()) (Mongodb.space_v20 ()) 904 Config.fitness_guided in
+  let rnd20 = run (Mongodb.target_v20 ()) (Mongodb.space_v20 ()) 904 Config.random_search in
+  print_string
+    (Figure.bar_chart
+       ~items:
+         [
+           ("v0.8 fitness", float_of_int fg08.Session.failed);
+           ("v0.8 random", float_of_int rnd08.Session.failed);
+           ("v2.0 fitness", float_of_int fg20.Session.failed);
+           ("v2.0 random", float_of_int rnd20.Session.failed);
+         ]
+       ());
+  note "";
+  note "Measured advantage: v0.8 %s, v2.0 %s (paper: 2.37x and 1.43x)"
+    (Table.fmt_ratio (float_of_int fg08.Session.failed) (float_of_int rnd08.Session.failed))
+    (Table.fmt_ratio (float_of_int fg20.Session.failed) (float_of_int rnd20.Session.failed));
+  note
+    "Crashes found by fitness-guided search: v2.0 %d, v0.8 %d (the paper found a v2.0-only crash)"
+    fg20.Session.crashed fg08.Session.crashed
+
+(* ------------------------------------------------------------------ *)
+(* §7.7: scalability                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let scaling ?(iterations = 1000) () =
+  section "\u{00A7}7.7: cluster scalability (discrete-event simulation)";
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target target in
+  let results =
+    Simulation.scaling ~node_counts:[ 1; 2; 4; 8; 14 ] ~iterations
+      (Config.fitness_guided ~seed:707 ())
+      sub executor
+  in
+  let baseline = List.hd results in
+  print_string
+    (Table.render
+       ~headers:[ "nodes"; "tests"; "wall (s)"; "tests/s"; "speedup"; "utilization" ]
+       ~rows:
+         (List.map
+            (fun (r : Simulation.result) ->
+              [
+                string_of_int r.Simulation.nodes;
+                string_of_int r.Simulation.tests_executed;
+                Printf.sprintf "%.1f" (r.Simulation.wall_ms /. 1000.0);
+                Printf.sprintf "%.1f" r.Simulation.throughput_per_s;
+                Printf.sprintf "%.2fx" (Simulation.speedup ~baseline r);
+                Printf.sprintf "%.0f%%" (100.0 *. r.Simulation.utilization);
+              ])
+            results)
+       ());
+  note "";
+  note "Paper: throughput scales linearly up to 14 EC2 nodes with no overhead;";
+  note "the explorer alone generates ~8,500 tests/second (see the `micro` bench)."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of AFEX design choices (DESIGN.md)                        *)
+(* ------------------------------------------------------------------ *)
+
+let ablation ?(iterations = 1000) () =
+  section "Ablation: AFEX design choices (Apache httpd, 1,000 iterations)";
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target target in
+  let base_params = Afex.Mutator.default_params in
+  let run name config =
+    let r = Session.run ~iterations config sub executor in
+    [ name; string_of_int r.Session.failed; string_of_int r.Session.crashed;
+      string_of_int r.Session.distinct_failure_traces ]
+  in
+  let fg params = { (Config.fitness_guided ~seed:606 ()) with
+                    Config.strategy = Config.Fitness_guided params } in
+  let rows =
+    [
+      run "full AFEX (Algorithm 1)" (fg base_params);
+      run "uniform axis choice (no sensitivity)"
+        (fg { base_params with Afex.Mutator.uniform_axis_choice = true });
+      run "uniform value choice (no Gaussian)"
+        (fg { base_params with Afex.Mutator.uniform_value_choice = true });
+      run "no aging"
+        { (fg base_params) with Config.aging_decay = 1.0; retire_threshold = 0.0 };
+      run "drop-min eviction"
+        { (fg base_params) with Config.eviction = Afex.Pqueue.Drop_min };
+      run "dynamic sigma (extension)"
+        (fg { base_params with Afex.Mutator.dynamic_sigma = true });
+      run "random search" (Config.random_search ~seed:606 ());
+    ]
+  in
+  print_string
+    (Table.render
+       ~headers:[ "variant"; "# failed"; "# crashes"; "# unique failures" ]
+       ~rows ());
+  note "";
+  note "Each row disables one mechanism of Algorithm 1. The full algorithm";
+  note "should clearly beat the mutation ablations (uniform axis/value choice)";
+  note "and random search; eviction policy and aging are second-order effects";
+  note "whose benefit shows on pathological spaces (outlier peaks, see tests)."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: multi-fault scenarios (§6 mentions them; the evaluation  *)
+(* is restricted to single faults, so this is the paper's natural      *)
+(* follow-on experiment)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let multifault ?(iterations = 2500) () =
+  section "Extension: multi-fault exploration (Apache httpd)";
+  let target = Apache.target () in
+  let latent_stack = Apache.latent_bug_stack () in
+  (* 1. No single-fault probe can expose the latent log-rotation bug:
+     exhaustively fail every write call of every test that reaches it. *)
+  let single_hits = ref 0 in
+  List.iter
+    (fun test_id ->
+      List.iter
+        (fun call_number ->
+          let fault = Fault.make ~test_id ~func:"write" ~call_number () in
+          let o = Engine.run target fault in
+          if o.Outcome.crash_stack = Some latent_stack then incr single_hits)
+        (List.init 12 (fun k -> k + 1)))
+    (List.init 58 (fun i -> i));
+  note "single-fault exhaustive sweep over write faults: %d latent-bug crashes" !single_hits;
+  (* 2. Multi-fault search over the compound space. *)
+  let sub = Apache.multi_space () in
+  note "compound space |Phi| = %d (testId x (function x callNumber)^2)"
+    (Subspace.cardinality sub);
+  let executor = Afex.Executor.of_target_multi target in
+  let run config = Session.run ~iterations config sub executor in
+  (* Redundancy feedback is essential here: without it the guided search
+     farms the dense ordinary-crash clusters forever and never pays the
+     exploration cost of a compound, rare bug (cf. §7.4). *)
+  let fg =
+    run { (Config.fitness_guided ~seed:271 ()) with Config.feedback = true }
+  in
+  let rnd = run (Config.random_search ~seed:271 ()) in
+  let latent_hits r =
+    List.length
+      (List.filter
+         (fun (c : Test_case.t) -> c.Test_case.crash_stack = Some latent_stack)
+         r.Session.executed)
+  in
+  let first_latent r =
+    let rec scan i = function
+      | [] -> "-"
+      | (c : Test_case.t) :: rest ->
+          if c.Test_case.crash_stack = Some latent_stack then string_of_int i
+          else scan (i + 1) rest
+    in
+    scan 1 r.Session.executed
+  in
+  print_string
+    (Table.render
+       ~headers:[ "2-fault scenarios"; "Fitness+feedback"; "Random" ]
+       ~rows:
+         [
+           [ "# failed tests"; string_of_int fg.Session.failed; string_of_int rnd.Session.failed ];
+           [ "# crashes"; string_of_int fg.Session.crashed; string_of_int rnd.Session.crashed ];
+           [
+             "# latent-bug crashes";
+             string_of_int (latent_hits fg);
+             string_of_int (latent_hits rnd);
+           ];
+           [ "first latent hit at"; first_latent fg; first_latent rnd ];
+         ]
+       ());
+  note "";
+  note "The latent recovery bug (write failure during recovery from an earlier";
+  note "fault) is invisible to every single-fault probe (0 hits above) but";
+  note "reachable in the compound space. Feedback-guided search both finds";
+  note "more of its manifestations and dominates on overall failures and";
+  note "crashes; without the feedback loop, plain fitness-guided search farms";
+  note "the dense single-fault crash clusters and misses the compound bug";
+  note "entirely."
+
+
+(* ------------------------------------------------------------------ *)
+(* Extension: static-analysis seeding (the §4 suggestion)              *)
+(* ------------------------------------------------------------------ *)
+
+let seeding ?(iterations = 400) () =
+  section "Extension: seeding the search with static-analysis findings (\u{00A7}4)";
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target target in
+  let findings = Afex_simtarget.Analyzer.analyze ~recall:0.7 ~precision:0.6 target in
+  note "analyzer flagged %d callsites (imperfect on purpose: recall 0.7, precision 0.6)"
+    (List.length findings);
+  let seeds = Afex.Seeding.points_for sub target findings ~max_seeds:40 in
+  note "%d injection seeds derived from the findings" (List.length seeds);
+  let first_crash r =
+    let rec scan i = function
+      | [] -> "-"
+      | (c : Test_case.t) :: rest ->
+          if Test_case.crashed c then string_of_int i else scan (i + 1) rest
+    in
+    scan 1 r.Session.executed
+  in
+  let totals config =
+    List.fold_left
+      (fun (f, c, firsts) seed ->
+        let r = Session.run ~iterations (config seed) sub executor in
+        (f + r.Session.failed, c + r.Session.crashed, firsts ^ " " ^ first_crash r))
+      (0, 0, "") [ 71; 72; 73 ]
+  in
+  let plain_f, plain_c, plain_first =
+    totals (fun seed -> Config.fitness_guided ~seed ())
+  in
+  let seeded_f, seeded_c, seeded_first =
+    totals (fun seed ->
+        { (Config.fitness_guided ~seed ()) with Config.initial_seeds = seeds })
+  in
+  print_string
+    (Table.render
+       ~headers:[ Printf.sprintf "totals over 3 seeds x %d iters" iterations;
+                  "Black-box"; "Analysis-seeded" ]
+       ~rows:
+         [
+           [ "# failed tests"; string_of_int plain_f; string_of_int seeded_f ];
+           [ "# crashes"; string_of_int plain_c; string_of_int seeded_c ];
+           [ "first crash at iteration"; plain_first; seeded_first ];
+         ]
+       ());
+  note "";
+  note "Seeding should find the first crash sooner and lift the early totals;";
+  note "the search then outgrows the (imperfect) analysis rather than being";
+  note "limited by it."
+
+(* ------------------------------------------------------------------ *)
+(* Extension: performance-impact search over a network fault injector  *)
+(* (§2's requests-per-second metric; §6's "top-50 worst faults         *)
+(* performance-wise" search target; §3's tool-independence claim)      *)
+(* ------------------------------------------------------------------ *)
+
+let perf ?(iterations = 600) () =
+  section "Extension: worst faults performance-wise (network packet drops)";
+  let server = Afex_simtarget.Netsim.httpd_like () in
+  let sub = Afex_injector.Netfault.space server in
+  note "drop space |Phi| = %d (workload x connection x packet)" (Subspace.cardinality sub);
+  let executor =
+    Afex.Executor.of_scenario_fn
+      ~total_blocks:(Afex_injector.Netfault.total_request_blocks server)
+      ~description:"httpd-net packet drops"
+      (Afex_injector.Netfault.run_scenario server)
+  in
+  let sensor = Afex_injector.Netfault.throughput_loss_sensor server in
+  let config sensor_config seed = { (sensor_config ?seed:(Some seed) ()) with Config.sensor } in
+  let fg = Session.run ~iterations (config Config.fitness_guided 909) sub executor in
+  let rnd = Session.run ~iterations (config Config.random_search 909) sub executor in
+  let loss_of (c : Test_case.t) =
+    Afex_injector.Netfault.throughput_loss server c.Test_case.fault
+  in
+  let total_loss r =
+    List.fold_left (fun acc c -> acc +. loss_of c) 0.0 r.Session.executed
+  in
+  let heavy r =
+    List.length (List.filter (fun c -> loss_of c > 10.0) r.Session.executed)
+  in
+  print_string
+    (Table.render
+       ~headers:[ "packet drops"; "Fitness-guided"; "Random" ]
+       ~rows:
+         [
+           [
+             "cumulative throughput loss found";
+             Printf.sprintf "%.0f%%-pts" (total_loss fg);
+             Printf.sprintf "%.0f%%-pts" (total_loss rnd);
+           ];
+           [
+             "drops costing >10% throughput";
+             string_of_int (heavy fg);
+             string_of_int (heavy rnd);
+           ];
+           [
+             "requests lost (failed runs)";
+             string_of_int fg.Session.failed;
+             string_of_int rnd.Session.failed;
+           ];
+         ]
+       ());
+  note "";
+  note "top 10 worst faults performance-wise (fitness-guided result set):";
+  let by_loss =
+    List.sort (fun a b -> compare (loss_of b) (loss_of a)) fg.Session.executed
+  in
+  List.iteri
+    (fun i (c : Test_case.t) ->
+      if i < 10 then begin
+        let d = Afex_injector.Netfault.drop_of_fault c.Test_case.fault in
+        note "  %2d. workload %d, connection %2d, packet %3d -> %.1f%% throughput lost"
+          (i + 1) d.Afex_simtarget.Netsim.workload d.Afex_simtarget.Netsim.connection
+          d.Afex_simtarget.Netsim.packet (loss_of c)
+      end)
+    by_loss;
+  note "";
+  (* Burst drops: the same hunt over < lo, hi > sub-interval windows. *)
+  let bsub = Afex_injector.Netfault.burst_space server in
+  let bexec =
+    Afex.Executor.of_scenario_fn
+      ~total_blocks:(Afex_injector.Netfault.total_request_blocks server)
+      ~description:"httpd-net loss bursts"
+      (Afex_injector.Netfault.run_burst_scenario server)
+  in
+  let bsensor = Afex_injector.Netfault.burst_loss_sensor server in
+  let brun strategy =
+    Session.run ~iterations
+      { (strategy ()) with Config.sensor = bsensor }
+      bsub bexec
+  in
+  let bfg = brun (fun () -> Config.fitness_guided ~seed:911 ()) in
+  let brnd = brun (fun () -> Config.random_search ~seed:911 ()) in
+  let bloss r =
+    List.fold_left
+      (fun acc (c : Test_case.t) ->
+        acc +. Afex_injector.Netfault.burst_throughput_loss server c.Test_case.fault)
+      0.0 r.Session.executed
+  in
+  note "loss bursts (< lo, hi > sub-interval windows), |Phi| = %d:"
+    (Subspace.cardinality bsub);
+  print_string
+    (Table.render
+       ~headers:[ "loss bursts"; "Fitness-guided"; "Random" ]
+       ~rows:
+         [
+           [
+             "cumulative throughput loss found";
+             Printf.sprintf "%.0f%%-pts" (bloss bfg);
+             Printf.sprintf "%.0f%%-pts" (bloss brnd);
+           ];
+           [
+             "runs losing requests";
+             string_of_int bfg.Session.failed;
+             string_of_int brnd.Session.failed;
+           ];
+         ]
+       ());
+  note "";
+  note "Same explorer, different injector and impact metric: the guided";
+  note "search needs no change to hunt performance bugs instead of crashes,";
+  note "and sub-interval axes (loss windows) mutate like any other attribute."

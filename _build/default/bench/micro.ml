@@ -1,0 +1,106 @@
+(* Microbenchmarks (Bechamel): the §7.7 explorer-throughput claim and the
+   latency of the hot paths (injection engine, Levenshtein, DSL parsing). *)
+
+open Bechamel
+open Toolkit
+
+module Apache = Afex_simtarget.Apache
+module Engine = Afex_injector.Engine
+module Fault = Afex_injector.Fault
+module Outcome = Afex_injector.Outcome
+module Bitset = Afex_stats.Bitset
+module Rng = Afex_stats.Rng
+
+let explorer_generation_test () =
+  (* Candidate generation + bookkeeping with a zero-cost executor: measures
+     how many tests/second the explorer itself can produce (paper: ~8,500/s
+     on a 2 GHz Xeon). *)
+  let sub = Apache.space () in
+  let empty = Bitset.create 1 in
+  let executor =
+    Afex.Executor.of_fn ~total_blocks:1 ~description:"null" (fun fault ->
+        {
+          Outcome.fault;
+          status = Outcome.Passed;
+          triggered = false;
+          coverage = empty;
+          injection_stack = None;
+          crash_stack = None;
+          duration_ms = 0.0;
+        })
+  in
+  let explorer = Afex.Explorer.create (Afex.Config.fitness_guided ~seed:1 ()) sub executor in
+  Test.make ~name:"explorer generate+report"
+    (Staged.stage (fun () ->
+         match Afex.Explorer.next explorer with
+         | None -> ()
+         | Some proposal -> ignore (Afex.Explorer.execute explorer proposal)))
+
+let engine_run_test () =
+  let target = Apache.target () in
+  let rng = Rng.create 7 in
+  Test.make ~name:"injection engine run"
+    (Staged.stage (fun () ->
+         let fault =
+           Fault.make
+             ~test_id:(Rng.int rng (Afex_simtarget.Target.n_tests target))
+             ~func:"read" ~call_number:(1 + Rng.int rng 10) ()
+         in
+         ignore (Engine.run target fault)))
+
+let levenshtein_test () =
+  let a = [ "libc.so:read"; "read_texts (derror.cc:104)"; "init (x.c:3)"; "main" ] in
+  let b = [ "libc.so:close"; "mi_create (mi_create.c:831)"; "init (x.c:3)"; "main" ] in
+  Test.make ~name:"levenshtein stack distance"
+    (Staged.stage (fun () -> ignore (Afex_quality.Levenshtein.distance_traces a b)))
+
+let parse_test () =
+  let description =
+    "function : { malloc, calloc, realloc } errno : { ENOMEM } retval : { 0 } \
+     callNumber : [ 1, 100 ] ; function : { read } errno : { EINTR } retVal : { -1 } \
+     callNumber : [ 1, 50 ] ;"
+  in
+  Test.make ~name:"fsdl parse"
+    (Staged.stage (fun () ->
+         ignore (Afex_faultspace.Fsdl_parser.parse_exn description)))
+
+let tests () =
+  Test.make_grouped ~name:"afex" ~fmt:"%s %s"
+    [ explorer_generation_test (); engine_run_test (); levenshtein_test (); parse_test () ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let raw_results = Benchmark.all cfg instances (tests ()) in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw_results) instances
+  in
+  Analyze.merge ols instances results
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+let run () =
+  Printf.printf
+    "\n================================================================\n\
+     Microbenchmarks (\u{00A7}7.7: explorer throughput, hot paths)\n\
+     ================================================================\n\n%!";
+  List.iter
+    (fun v -> Bechamel_notty.Unit.add v (Measure.unit v))
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ];
+  let window =
+    match Notty_unix.winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 80; h = 1 }
+  in
+  let results = benchmark () in
+  Notty_unix.output_image (Notty_unix.eol (img (window, results)));
+  Printf.printf
+    "\n(\"explorer generate+report\" inverted gives candidates/second;\n\
+     the paper reports ~8,500/s for its Java prototype.)\n"

@@ -1,0 +1,385 @@
+(* afex: command-line front end.
+
+   - afex targets                      list the built-in simulated targets
+   - afex describe --target T          print the target's fault space
+   - afex explore --target T ...       run a fault exploration session
+   - afex inject --target T ...        replay a single fault injection
+   - afex parse FILE                   validate a fault space description
+
+   The `inject` command is what the generated replay scripts call, so a
+   result set exported from `explore` runs unmodified as a regression
+   suite. *)
+
+module Target = Afex_simtarget.Target
+module Fault = Afex_injector.Fault
+module Engine = Afex_injector.Engine
+module Outcome = Afex_injector.Outcome
+open Cmdliner
+
+let targets_registry :
+    (string * (unit -> Target.t) * (unit -> Afex_faultspace.Subspace.t)) list =
+  [
+    ("mysql", Afex_simtarget.Mysql.target, Afex_simtarget.Mysql.space);
+    ("apache", Afex_simtarget.Apache.target, Afex_simtarget.Apache.space);
+    ("coreutils", Afex_simtarget.Coreutils.target, Afex_simtarget.Coreutils.space);
+    ( "ls",
+      Afex_simtarget.Coreutils.ls_target,
+      fun () ->
+        Afex_simtarget.Spaces.standard ~min_call:1 ~max_call:2
+          ~funcs:Afex_simtarget.Coreutils.ls_fig1_functions
+          (Afex_simtarget.Coreutils.ls_target ()) );
+    ("mongodb-0.8", Afex_simtarget.Mongodb.target_v08, Afex_simtarget.Mongodb.space_v08);
+    ("mongodb-2.0", Afex_simtarget.Mongodb.target_v20, Afex_simtarget.Mongodb.space_v20);
+  ]
+
+let lookup_target name =
+  match
+    List.find_opt (fun (n, _, _) -> String.equal n name) targets_registry
+  with
+  | Some (_, target, space) -> Ok (target (), space ())
+  | None ->
+      Error
+        (Printf.sprintf "unknown target %S (try: %s)" name
+           (String.concat ", " (List.map (fun (n, _, _) -> n) targets_registry)))
+
+(* --- common arguments --- *)
+
+let target_arg =
+  let doc = "Simulated system under test." in
+  Arg.(required & opt (some string) None & info [ "target"; "t" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed; equal seeds reproduce sessions exactly." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let verbose_arg =
+  let doc = "Log exploration progress to stderr (-v for info, -vv for per-test detail)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+
+let setup_logging verbosity =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (match List.length verbosity with
+    | 0 -> Some Logs.Warning
+    | 1 -> Some Logs.Info
+    | _ -> Some Logs.Debug)
+
+(* --- afex targets --- *)
+
+let targets_cmd =
+  let run () =
+    List.iter
+      (fun (name, target, space) ->
+        let t = target () in
+        Format.printf "%-12s %a@.             fault space: %d faults@." name
+          Target.pp_summary t
+          (Afex_faultspace.Subspace.cardinality (space ())))
+      targets_registry
+  in
+  Cmd.v (Cmd.info "targets" ~doc:"List the built-in simulated targets")
+    Term.(const run $ const ())
+
+(* --- afex describe --- *)
+
+let describe_cmd =
+  let profile_arg =
+    let doc =
+      "Emit the per-function error profile (one subspace per (function, \
+       errno) pair, as LFI's callsite analyzer would) instead of the \
+       standard 3-axis search space."
+    in
+    Arg.(value & flag & info [ "profile" ] ~doc)
+  in
+  let run target profile =
+    match lookup_target target with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (t, sub) ->
+        if profile then print_string (Afex_simtarget.Tracer.describe_string t)
+        else begin
+          let funcs =
+            match Afex_faultspace.Axis.kind (Afex_faultspace.Subspace.axis sub 1) with
+            | Afex_faultspace.Axis.Symbols a -> Array.to_list a
+            | Afex_faultspace.Axis.Range _ | Afex_faultspace.Axis.Subinterval _ -> []
+          in
+          let max_call =
+            Afex_faultspace.Axis.cardinality (Afex_faultspace.Subspace.axis sub 2)
+          in
+          print_string (Afex_simtarget.Tracer.standard_description t ~funcs ~max_call)
+        end
+  in
+  Cmd.v
+    (Cmd.info "describe" ~doc:"Print a target's fault space description")
+    Term.(const run $ target_arg $ profile_arg)
+
+(* --- afex explore --- *)
+
+let explore_cmd =
+  let strategy_arg =
+    let doc = "Search strategy: fitness, random, or exhaustive." in
+    Arg.(
+      value
+      & opt
+          (enum [ ("fitness", `Fitness); ("random", `Random); ("exhaustive", `Exhaustive) ])
+          `Fitness
+      & info [ "strategy"; "s" ] ~docv:"STRATEGY" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Number of fault injection tests to execute." in
+    Arg.(value & opt int 1000 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+  in
+  let feedback_arg =
+    let doc = "Enable the online redundancy-feedback loop (section 7.4)." in
+    Arg.(value & flag & info [ "feedback" ] ~doc)
+  in
+  let top_arg =
+    let doc = "How many top faults to list in the report." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  let replay_arg =
+    let doc =
+      "Write a replay regression suite for the crash cluster representatives to $(docv)."
+    in
+    Arg.(value & opt (some string) None & info [ "replay-out" ] ~docv:"FILE" ~doc)
+  in
+  let multi_arg =
+    let doc = "Explore 2-fault compound scenarios instead of single faults." in
+    Arg.(value & flag & info [ "multi" ] ~doc)
+  in
+  let seed_analysis_arg =
+    let doc = "Seed the initial generation with static-analysis findings (section 4)." in
+    Arg.(value & flag & info [ "seed-analysis" ] ~doc)
+  in
+  let csv_arg =
+    let doc = "Write the per-test log as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "export-csv" ] ~docv:"FILE" ~doc)
+  in
+  let json_arg =
+    let doc = "Write the session summary as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "export-json" ] ~docv:"FILE" ~doc)
+  in
+  let assess_arg =
+    let doc =
+      "Measure impact precision (1/variance over 10 trials, section 5) for the        $(docv) highest-impact faults."
+    in
+    Arg.(value & opt (some int) None & info [ "assess" ] ~docv:"K" ~doc)
+  in
+  let run target strategy iterations seed feedback top replay_out multi seed_analysis
+      csv_out json_out assess verbosity =
+    setup_logging verbosity;
+    match lookup_target target with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (t, sub) ->
+        let sub =
+          if multi then
+            Afex_simtarget.Spaces.multi ~arms:2 ~min_call:1 ~max_call:6
+              ~funcs:Afex_simtarget.Libc.standard19 t
+          else sub
+        in
+        let config =
+          match strategy with
+          | `Fitness -> Afex.Config.fitness_guided ~seed ()
+          | `Random -> Afex.Config.random_search ~seed ()
+          | `Exhaustive -> Afex.Config.exhaustive ~seed ()
+        in
+        let config = { config with Afex.Config.feedback } in
+        let config =
+          if seed_analysis then begin
+            let findings = Afex_simtarget.Analyzer.analyze t in
+            let seeds = Afex.Seeding.points_for sub t findings ~max_seeds:50 in
+            Format.printf "seeded with %d analysis-derived injections@." (List.length seeds);
+            { config with Afex.Config.initial_seeds = seeds }
+          end
+          else config
+        in
+        let executor =
+          if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
+        in
+        let result = Afex.Session.run ~iterations config sub executor in
+        print_string (Afex_report.Session_report.render ~top ~target result);
+        (match assess with
+        | None -> ()
+        | Some k ->
+            Format.printf "@.--- impact precision of the top %d faults ---@." k;
+            List.iter
+              (fun ((case : Afex.Test_case.t), p) ->
+                Format.printf "  %a@.    %a@." Afex_injector.Fault.pp
+                  case.Afex.Test_case.fault Afex_quality.Precision.pp p)
+              (Afex.Assess.top_faults executor
+                 ~sensor:(Afex_injector.Sensor.standard ())
+                 ~trials:10 ~n:k result));
+        let write path contents =
+          let oc = open_out path in
+          output_string oc contents;
+          close_out oc
+        in
+        (match csv_out with
+        | None -> ()
+        | Some path ->
+            write path (Afex_report.Export.records_to_csv result);
+            Format.printf "@.per-test CSV written to %s@." path);
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            write path (Afex_report.Export.summary_to_json ~target result);
+            Format.printf "session JSON written to %s@." path);
+        (match replay_out with
+        | None -> ()
+        | Some path ->
+            let reps = Afex.Session.crash_cluster_representatives result in
+            write path (Afex_report.Replay.suite ~target reps);
+            Format.printf "@.replay suite for %d clusters written to %s@."
+              (List.length reps) path)
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc:"Run a fault exploration session against a target")
+    Term.(
+      const run $ target_arg $ strategy_arg $ iterations_arg $ seed_arg $ feedback_arg
+      $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
+      $ assess_arg $ verbose_arg)
+
+(* --- afex inject --- *)
+
+let inject_cmd =
+  let test_arg =
+    Arg.(
+      required & opt (some int) None & info [ "test" ] ~docv:"ID" ~doc:"Test id to run.")
+  in
+  let func_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "function" ] ~docv:"FN" ~doc:"libc function whose call fails.")
+  in
+  let call_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "call" ] ~docv:"N" ~doc:"Which call to fail (1-based; 0 = no injection).")
+  in
+  let errno_arg =
+    Arg.(
+      value & opt (some string) None & info [ "errno" ] ~docv:"E" ~doc:"errno to simulate.")
+  in
+  let retval_arg =
+    Arg.(
+      value & opt (some int) None & info [ "retval" ] ~docv:"R" ~doc:"Return value to inject.")
+  in
+  let print_status_arg =
+    Arg.(value & flag & info [ "print-status" ] ~doc:"Print only the outcome status.")
+  in
+  let expect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect" ] ~docv:"STATUS"
+          ~doc:"Exit non-zero unless the outcome status equals $(docv).")
+  in
+  let run target test_id func call errno retval print_status expect =
+    match lookup_target target with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (t, _) ->
+        let fault = Fault.make ~test_id ~func ~call_number:call ?errno ?retval () in
+        let outcome =
+          try Engine.run t fault
+          with Invalid_argument m ->
+            prerr_endline m;
+            exit 2
+        in
+        let status = Outcome.status_to_string outcome.Outcome.status in
+        if print_status then print_endline status
+        else begin
+          Format.printf "%a@." Outcome.pp outcome;
+          (match outcome.Outcome.injection_stack with
+          | Some stack ->
+              Format.printf "injection stack:@.";
+              List.iter (fun f -> Format.printf "  %s@." f) stack
+          | None -> Format.printf "fault did not trigger@.");
+          match outcome.Outcome.crash_stack with
+          | Some stack ->
+              Format.printf "crash stack:@.";
+              List.iter (fun f -> Format.printf "  %s@." f) stack
+          | None -> ()
+        end;
+        match expect with
+        | Some expected when not (String.equal expected status) ->
+            Format.eprintf "expected %s, observed %s@." expected status;
+            exit 1
+        | Some _ | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Replay a single fault injection")
+    Term.(
+      const run $ target_arg $ test_arg $ func_arg $ call_arg $ errno_arg $ retval_arg
+      $ print_status_arg $ expect_arg)
+
+(* --- afex analyze --- *)
+
+let analyze_cmd =
+  let recall_arg =
+    Arg.(value & opt float 0.7 & info [ "recall" ] ~docv:"P" ~doc:"Analyzer recall in [0,1].")
+  in
+  let precision_arg =
+    Arg.(
+      value & opt float 0.6 & info [ "precision" ] ~docv:"P" ~doc:"Analyzer precision in [0,1].")
+  in
+  let run target recall precision seed =
+    match lookup_target target with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (t, _) ->
+        let findings = Afex_simtarget.Analyzer.analyze ~recall ~precision ~seed t in
+        Format.printf "%d suspicious callsites:@." (List.length findings);
+        List.iter
+          (fun (f : Afex_simtarget.Analyzer.finding) ->
+            Format.printf "  %-28s %-12s %s@." f.Afex_simtarget.Analyzer.location
+              f.Afex_simtarget.Analyzer.func f.Afex_simtarget.Analyzer.reason)
+          findings
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Run the (deliberately imperfect) static callsite analyzer on a target")
+    Term.(const run $ target_arg $ recall_arg $ precision_arg $ seed_arg)
+
+(* --- afex parse --- *)
+
+let parse_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Fault space description file to validate.")
+  in
+  let run file =
+    let ic = open_in file in
+    let n = in_channel_length ic in
+    let contents = really_input_string ic n in
+    close_in ic;
+    match Afex_faultspace.Fsdl.space_of_string contents with
+    | Ok space ->
+        Format.printf "valid description: %d subspaces, %d faults total@."
+          (List.length (Afex_faultspace.Space.subspaces space))
+          (Afex_faultspace.Space.cardinality space)
+    | Error e ->
+        prerr_endline e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Validate a fault space description file")
+    Term.(const run $ file_arg)
+
+let () =
+  let info =
+    Cmd.info "afex" ~version:"1.0.0"
+      ~doc:"Fast black-box testing of system recovery code (EuroSys 2012 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ targets_cmd; describe_cmd; explore_cmd; inject_cmd; analyze_cmd; parse_cmd ]))

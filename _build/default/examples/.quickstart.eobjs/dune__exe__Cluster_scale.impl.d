@@ -1,0 +1,1 @@
+examples/cluster_scale.ml: Afex Afex_cluster Afex_report Afex_simtarget List Printf

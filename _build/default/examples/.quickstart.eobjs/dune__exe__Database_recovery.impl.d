@@ -1,0 +1,1 @@
+examples/database_recovery.ml: Afex Afex_faultspace Afex_injector Afex_report Afex_simtarget Format List

@@ -1,0 +1,1 @@
+examples/domain_knowledge.ml: Afex Afex_faultspace Afex_injector Afex_quality Afex_simtarget Format List String

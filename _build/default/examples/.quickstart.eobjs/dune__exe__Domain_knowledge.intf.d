@@ -1,0 +1,1 @@
+examples/domain_knowledge.mli:

@@ -1,0 +1,1 @@
+examples/multifault_hunt.ml: Afex Afex_faultspace Afex_injector Afex_simtarget Format List

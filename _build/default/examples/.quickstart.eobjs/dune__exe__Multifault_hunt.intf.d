@@ -1,0 +1,1 @@
+examples/multifault_hunt.mli:

@@ -1,0 +1,1 @@
+examples/perf_drops.ml: Afex Afex_faultspace Afex_injector Afex_simtarget Array Format List

@@ -1,0 +1,1 @@
+examples/perf_drops.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Afex Afex_faultspace Afex_report Afex_simtarget Format

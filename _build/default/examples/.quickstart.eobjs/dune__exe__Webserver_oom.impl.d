@@ -1,0 +1,1 @@
+examples/webserver_oom.ml: Afex Afex_injector Afex_quality Afex_simtarget Afex_stats Format List

@@ -1,0 +1,43 @@
+(* Parallel AFEX (§6.1, §7.7): one explorer feeding a cluster of node
+   managers. Fault-injection tests are independent, so the system is
+   embarrassingly parallel — throughput should scale linearly with node
+   count until the explorer's candidate-generation rate becomes the
+   bottleneck (measured at hundreds of thousands of candidates per second
+   by `bench/main.exe micro`, so in practice: never).
+
+   Run with: dune exec examples/cluster_scale.exe *)
+
+module Simulation = Afex_cluster.Simulation
+module Apache = Afex_simtarget.Apache
+module Table = Afex_report.Table
+
+let () =
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target (Apache.target ()) in
+  let results =
+    Simulation.scaling ~node_counts:[ 1; 2; 4; 8 ] ~iterations:2000
+      (Afex.Config.fitness_guided ~seed:3 ())
+      sub executor
+  in
+  let baseline = List.hd results in
+  print_string
+    (Table.render
+       ~headers:[ "nodes"; "tests"; "wall clock (s)"; "tests/s"; "speedup"; "utilization" ]
+       ~rows:
+         (List.map
+            (fun (r : Simulation.result) ->
+              [
+                string_of_int r.Simulation.nodes;
+                string_of_int r.Simulation.tests_executed;
+                Printf.sprintf "%.1f" (r.Simulation.wall_ms /. 1000.0);
+                Printf.sprintf "%.1f" r.Simulation.throughput_per_s;
+                Printf.sprintf "%.2fx" (Simulation.speedup ~baseline r);
+                Printf.sprintf "%.0f%%" (100.0 *. r.Simulation.utilization);
+              ])
+            results)
+       ());
+  print_endline "";
+  print_endline
+    "Each simulated test costs its nominal duration plus startup/cleanup\n\
+     scripts and a 2 ms dispatch; near-100% utilization and ~N x speedup\n\
+     demonstrate the embarrassing parallelism the paper relies on."

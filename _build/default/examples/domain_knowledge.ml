@@ -1,0 +1,73 @@
+(* Leveraging system-specific knowledge (§7.5): how much faster does the
+   search reach a concrete target — "find every malloc fault that makes
+   ln or mv fail" — when the tester trims the fault space to the
+   functions the utilities actually call, and adds a statistical model of
+   the deployment environment (malloc failures 40%, file ops 50%,
+   directory ops 10%)?
+
+   Run with: dune exec examples/domain_knowledge.exe *)
+
+module Coreutils = Afex_simtarget.Coreutils
+module Spaces = Afex_simtarget.Spaces
+module Fault = Afex_injector.Fault
+module Engine = Afex_injector.Engine
+module Outcome = Afex_injector.Outcome
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+
+let () =
+  let target = Coreutils.target () in
+  let executor = Afex.Executor.of_target target in
+  let ln_mv = Coreutils.ln_mv_test_ids in
+
+  (* Ground truth, via exhaustive enumeration of the malloc faults. *)
+  let goal = ref 0 in
+  List.iter
+    (fun test_id ->
+      List.iter
+        (fun call_number ->
+          let fault = Fault.make ~test_id ~func:"malloc" ~call_number () in
+          if Outcome.failed (Engine.run target fault) then incr goal)
+        [ 1; 2 ])
+    ln_mv;
+  Format.printf "search target: all %d malloc faults that fail ln/mv@.@." !goal;
+
+  let matches (c : Test_case.t) =
+    Test_case.failed c
+    && String.equal c.Test_case.fault.Fault.func "malloc"
+    && List.mem c.Test_case.fault.Fault.test_id ln_mv
+  in
+  let stop = { Session.matches; count = !goal } in
+
+  let samples_needed name config sub =
+    let r = Session.run ~stop ~iterations:30_000 config sub executor in
+    (match r.Session.stop_iteration with
+    | Some i -> Format.printf "  %-28s %5d samples@." name i
+    | None -> Format.printf "  %-28s >%d samples (target not reached)@." name r.Session.iterations);
+    ()
+  in
+
+  (* Level 0: pure black box over the full 29x19x3 space. *)
+  let full = Coreutils.space () in
+  Format.printf "black-box (|Phi| = %d):@." (Afex_faultspace.Subspace.cardinality full);
+  samples_needed "fitness-guided" (Afex.Config.fitness_guided ~seed:11 ()) full;
+  samples_needed "random" (Afex.Config.random_search ~seed:11 ()) full;
+
+  (* Level 1: trim Xfunc to the 9 functions ln/mv actually call. *)
+  let trimmed =
+    Spaces.standard ~min_call:0 ~max_call:2 ~funcs:Coreutils.trimmed_functions target
+  in
+  Format.printf "@.trimmed fault space (|Phi| = %d):@."
+    (Afex_faultspace.Subspace.cardinality trimmed);
+  samples_needed "fitness-guided" (Afex.Config.fitness_guided ~seed:11 ()) trimmed;
+  samples_needed "random" (Afex.Config.random_search ~seed:11 ()) trimmed;
+
+  (* Level 2: also weigh fitness by the environment model. *)
+  let env = Afex_quality.Relevance.of_weights ~default:0.02 Coreutils.env_model in
+  Format.printf "@.trimmed + environment model:@.";
+  samples_needed "fitness-guided"
+    { (Afex.Config.fitness_guided ~seed:11 ()) with Afex.Config.relevance = Some env }
+    trimmed;
+  Format.printf
+    "@.(the paper reports 417 -> 213 -> 103 samples for fitness-guided search;@.\n\
+    \ shape to expect: each knowledge level roughly halves the cost)@."

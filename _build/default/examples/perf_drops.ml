@@ -1,0 +1,53 @@
+(* Performance-impact fault injection: which dropped TCP packet costs the
+   most requests per second? Same explorer, different injector and impact
+   metric — the §2 motivating example ("the change in number of requests
+   per second served by Apache when random TCP packets are dropped") and
+   the §6 "top-50 worst faults performance-wise" search target.
+
+   Run with: dune exec examples/perf_drops.exe *)
+
+module Netsim = Afex_simtarget.Netsim
+module Netfault = Afex_injector.Netfault
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+
+let () =
+  let server = Netsim.httpd_like () in
+  Array.iter
+    (fun (w : Netsim.workload) ->
+      let base = Netsim.baseline server ~workload:w.Netsim.id in
+      Format.printf "workload %d (%-15s): %3d requests, baseline %.0f req/s@."
+        w.Netsim.id w.Netsim.name base.Netsim.requests_attempted
+        base.Netsim.throughput_rps)
+    server.Netsim.workloads;
+
+  let sub = Netfault.space server in
+  Format.printf "@.drop fault space: %d (workload x connection x packet)@.@."
+    (Afex_faultspace.Subspace.cardinality sub);
+
+  let executor =
+    Afex.Executor.of_scenario_fn
+      ~total_blocks:(Netfault.total_request_blocks server)
+      ~description:"packet drops" (Netfault.run_scenario server)
+  in
+  let config =
+    {
+      (Afex.Config.fitness_guided ~seed:5 ()) with
+      Afex.Config.sensor = Netfault.throughput_loss_sensor server;
+    }
+  in
+  let r = Session.run ~iterations:500 config sub executor in
+
+  let loss (c : Test_case.t) = Netfault.throughput_loss server c.Test_case.fault in
+  let worst = List.sort (fun a b -> compare (loss b) (loss a)) r.Session.executed in
+  Format.printf "ten worst drops performance-wise:@.";
+  List.iteri
+    (fun i (c : Test_case.t) ->
+      if i < 10 then begin
+        let d = Netfault.drop_of_fault c.Test_case.fault in
+        Format.printf "  %2d. workload %d, connection %2d, packet %3d: -%.1f%% throughput@."
+          (i + 1) d.Netsim.workload d.Netsim.connection d.Netsim.packet (loss c)
+      end)
+    worst;
+  Format.printf
+    "@.(fragile keep-alive clients dominate: one lost packet aborts a long@.connection and takes its whole request backlog with it)@."

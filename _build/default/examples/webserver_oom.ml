@@ -1,0 +1,84 @@
+(* Hunting out-of-memory handling bugs in a web server — the paper's §7.1
+   Apache scenario. The Fig. 7 bug: module registration strdup()s a symbol
+   name without checking for NULL, so an OOM during startup crashes the
+   server before any error is logged.
+
+   This example also demonstrates two result-quality features of §5:
+   the online redundancy-feedback loop (more *unique* failures for the
+   same budget) and impact precision (is a crash deterministic enough to
+   debug?).
+
+   Run with: dune exec examples/webserver_oom.exe *)
+
+module Apache = Afex_simtarget.Apache
+module Engine = Afex_injector.Engine
+module Fault = Afex_injector.Fault
+module Outcome = Afex_injector.Outcome
+module Sensor = Afex_injector.Sensor
+module Precision = Afex_quality.Precision
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+
+let () =
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let executor = Afex.Executor.of_target target in
+
+  (* Focus the impact metric on memory faults: this is domain knowledge —
+     an overloaded server is most likely to hit ENOMEM. *)
+  let oom_relevance =
+    Afex_quality.Relevance.of_weights ~default:0.1
+      [ ("malloc", 1.0); ("calloc", 1.0); ("realloc", 1.0); ("strdup", 1.0) ]
+  in
+  let config =
+    {
+      (Afex.Config.fitness_guided ~seed:77 ()) with
+      Afex.Config.feedback = true;
+      relevance = Some oom_relevance;
+    }
+  in
+  let result = Session.run ~iterations:1500 config sub executor in
+  Format.printf
+    "explored %d scenarios with redundancy feedback: %d failed, %d crashes,@.%d \
+     unique failure stacks, %d unique crash stacks@.@."
+    result.Session.iterations result.Session.failed result.Session.crashed
+    result.Session.distinct_failure_traces result.Session.distinct_crash_traces;
+
+  (* Did we hit the Fig. 7 strdup bug? *)
+  let bug_hits =
+    match Apache.known_bug_stacks () with
+    | [ (_, stack) ] ->
+        List.filter
+          (fun (c : Test_case.t) -> c.Test_case.crash_stack = Some stack)
+          result.Session.executed
+    | _ -> []
+  in
+  (match bug_hits with
+  | [] -> Format.printf "Fig. 7 strdup/OOM bug: not reached in this budget@."
+  | (hit : Test_case.t) :: _ ->
+      Format.printf "Fig. 7 strdup/OOM bug: FOUND — %s@."
+        (Fault.to_string hit.Test_case.fault);
+      (* Impact precision (§5): re-run the scenario several times under a
+         deliberately flaky environment and report 1/variance. High
+         precision means the crash reproduces deterministically. *)
+      let sensor = Sensor.standard () in
+      let nondet = { Engine.rng = Afex_stats.Rng.create 5; dodge_probability = 0.2 } in
+      let measure_once () =
+        let outcome = Engine.run ~nondet target hit.Test_case.fault in
+        sensor.Sensor.score { Sensor.outcome; new_blocks = 0 }
+      in
+      let noisy = Precision.measure ~trials:10 measure_once in
+      let deterministic () =
+        let outcome = Engine.run target hit.Test_case.fault in
+        sensor.Sensor.score { Sensor.outcome; new_blocks = 0 }
+      in
+      let stable = Precision.measure ~trials:10 deterministic in
+      Format.printf "  impact precision, flaky environment : %a@." Precision.pp noisy;
+      Format.printf "  impact precision, pinned environment: %a@." Precision.pp stable;
+      Format.printf "  -> debug the pinned scenario first (infinite precision = fully reproducible)@.");
+
+  Format.printf "@.crash clusters (one representative each):@.";
+  List.iteri
+    (fun i (c : Test_case.t) ->
+      Format.printf "  %d. %s@." (i + 1) (Fault.to_string c.Test_case.fault))
+    (Session.crash_cluster_representatives result)

@@ -1,0 +1,1 @@
+lib/cluster/message.ml: Afex_faultspace Afex_injector Format Printf String

@@ -1,0 +1,1 @@
+lib/cluster/message.mli: Afex_faultspace Afex_injector Format

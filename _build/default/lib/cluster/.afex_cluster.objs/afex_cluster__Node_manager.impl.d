@@ -1,0 +1,1 @@
+lib/cluster/node_manager.ml: Afex Afex_injector Message

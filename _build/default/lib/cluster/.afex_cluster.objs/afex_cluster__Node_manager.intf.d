@@ -1,0 +1,1 @@
+lib/cluster/node_manager.mli: Afex Afex_faultspace Afex_injector Message

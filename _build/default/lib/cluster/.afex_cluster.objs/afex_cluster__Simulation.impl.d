@@ -1,0 +1,1 @@
+lib/cluster/simulation.ml: Afex Array List Message Node_manager

@@ -1,0 +1,1 @@
+lib/cluster/simulation.mli: Afex Afex_faultspace

@@ -1,0 +1,47 @@
+module Scenario = Afex_faultspace.Scenario
+module Outcome = Afex_injector.Outcome
+
+type to_manager =
+  | Run_scenario of { seq : int; scenario : Scenario.t }
+  | Shutdown
+
+type run_report = {
+  seq : int;
+  status : Outcome.status;
+  triggered : bool;
+  new_blocks : int;
+  injection_stack : string list option;
+  crash_stack : string list option;
+  duration_ms : float;
+}
+
+type from_manager =
+  | Scenario_result of run_report
+  | Manager_error of { seq : int; message : string }
+
+let encode_to_manager = function
+  | Shutdown -> "SHUTDOWN"
+  | Run_scenario { seq; scenario } ->
+      Printf.sprintf "RUN %d %s" seq (Scenario.to_string scenario)
+
+let decode_to_manager line =
+  let line = String.trim line in
+  if String.equal line "SHUTDOWN" then Ok Shutdown
+  else begin
+    match String.split_on_char ' ' line with
+    | "RUN" :: seq :: rest -> (
+        match int_of_string_opt seq with
+        | None -> Error (Printf.sprintf "malformed sequence number %S" seq)
+        | Some seq -> (
+            match Scenario.of_string (String.concat " " rest) with
+            | Ok scenario -> Ok (Run_scenario { seq; scenario })
+            | Error e -> Error e))
+    | _ -> Error (Printf.sprintf "unknown message %S" line)
+  end
+
+let pp_from_manager ppf = function
+  | Scenario_result r ->
+      Format.fprintf ppf "result #%d: %s (%.1fms)" r.seq
+        (Outcome.status_to_string r.status)
+        r.duration_ms
+  | Manager_error { seq; message } -> Format.fprintf ppf "error #%d: %s" seq message

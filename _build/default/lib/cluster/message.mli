@@ -1,0 +1,30 @@
+(** The explorer <-> node-manager protocol (§6, Fig. 2).
+
+    The explorer sends fault scenarios in the Fig. 5 wire format; managers
+    break them into atomic faults, drive injectors and sensors, and send
+    back a single aggregated impact measurement. *)
+
+type to_manager =
+  | Run_scenario of { seq : int; scenario : Afex_faultspace.Scenario.t }
+  | Shutdown
+
+type run_report = {
+  seq : int;
+  status : Afex_injector.Outcome.status;
+  triggered : bool;
+  new_blocks : int;  (** measured by the manager's coverage sensor *)
+  injection_stack : string list option;
+  crash_stack : string list option;
+  duration_ms : float;
+}
+
+type from_manager =
+  | Scenario_result of run_report
+  | Manager_error of { seq : int; message : string }
+
+val encode_to_manager : to_manager -> string
+(** Line-oriented wire encoding (scenario payload in Fig. 5 format). *)
+
+val decode_to_manager : string -> (to_manager, string) result
+
+val pp_from_manager : Format.formatter -> from_manager -> unit

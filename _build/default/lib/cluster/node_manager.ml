@@ -1,0 +1,44 @@
+module Outcome = Afex_injector.Outcome
+
+type t = {
+  id : int;
+  executor : Afex.Executor.t;
+  startup_ms : float;
+  cleanup_ms : float;
+  mutable tests_run : int;
+  mutable busy_ms : float;
+}
+
+let create ~id ~executor ?(startup_ms = 3.0) ?(cleanup_ms = 3.0) () =
+  { id; executor; startup_ms; cleanup_ms; tests_run = 0; busy_ms = 0.0 }
+
+let id t = t.id
+let tests_run t = t.tests_run
+let busy_ms t = t.busy_ms
+
+let run_scenario t scenario =
+  let outcome = t.executor.Afex.Executor.run_scenario scenario in
+  let elapsed = t.startup_ms +. outcome.Outcome.duration_ms +. t.cleanup_ms in
+  t.tests_run <- t.tests_run + 1;
+  t.busy_ms <- t.busy_ms +. elapsed;
+  (outcome, elapsed)
+
+let handle t = function
+  | Message.Shutdown -> None
+  | Message.Run_scenario { seq; scenario } -> (
+      match run_scenario t scenario with
+      | exception Invalid_argument message ->
+          Some (Message.Manager_error { seq; message }, 0.1)
+      | outcome, elapsed ->
+          let report =
+            {
+              Message.seq;
+              status = outcome.Outcome.status;
+              triggered = outcome.Outcome.triggered;
+              new_blocks = 0 (* the explorer recomputes against its own coverage *);
+              injection_stack = outcome.Outcome.injection_stack;
+              crash_stack = outcome.Outcome.crash_stack;
+              duration_ms = outcome.Outcome.duration_ms;
+            }
+          in
+          Some (Message.Scenario_result report, elapsed))

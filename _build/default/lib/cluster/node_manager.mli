@@ -1,0 +1,36 @@
+(** A node manager (§6.1): coordinates the tests assigned to one machine.
+
+    It receives scenarios from the explorer, converts them through the
+    plugin layer into concrete injector parameters, runs the startup /
+    test / cleanup script sequence, and reports the measured result. In
+    this reproduction the machine is simulated, so "running" means invoking
+    the injection engine and charging the simulated clock. *)
+
+type t
+
+val create :
+  id:int ->
+  executor:Afex.Executor.t ->
+  ?startup_ms:float ->
+  ?cleanup_ms:float ->
+  unit ->
+  t
+(** [startup_ms]/[cleanup_ms] model the user-provided environment scripts
+    (defaults 3 ms each). *)
+
+val id : t -> int
+val tests_run : t -> int
+val busy_ms : t -> float
+(** Total simulated time this manager spent executing tests. *)
+
+val handle : t -> Message.to_manager -> (Message.from_manager * float) option
+(** Processes one message; returns the reply and the simulated time the
+    work took, or [None] for [Shutdown]. *)
+
+val run_scenario :
+  t -> Afex_faultspace.Scenario.t -> Afex_injector.Outcome.t * float
+(** Direct in-process execution used by the cluster simulation: runs the
+    scenario and returns the full outcome (which the co-located explorer
+    needs for coverage accounting) plus the simulated elapsed time
+    including the startup/cleanup scripts.
+    @raise Invalid_argument on an undecodable scenario. *)

@@ -1,0 +1,1 @@
+lib/core/assess.ml: Afex_injector Afex_quality Executor List Session Test_case

@@ -1,0 +1,1 @@
+lib/core/assess.mli: Afex_faultspace Afex_injector Afex_quality Executor Session Test_case

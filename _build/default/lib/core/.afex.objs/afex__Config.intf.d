@@ -1,0 +1,1 @@
+lib/core/config.mli: Afex_faultspace Afex_injector Afex_quality Mutator Pqueue

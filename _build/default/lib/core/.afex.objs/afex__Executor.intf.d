@@ -1,0 +1,1 @@
+lib/core/executor.mli: Afex_faultspace Afex_injector Afex_simtarget

@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Afex_faultspace Afex_injector Afex_quality Afex_stats Config Executor Hashtbl History List Logs Mutator Pqueue Sensitivity Seq Test_case

@@ -1,0 +1,1 @@
+lib/core/explorer.mli: Afex_faultspace Afex_injector Config Executor Mutator Test_case

@@ -1,0 +1,1 @@
+lib/core/history.ml: Afex_faultspace Hashtbl

@@ -1,0 +1,1 @@
+lib/core/mutator.ml: Afex_faultspace Afex_stats Array History Pqueue Sensitivity Test_case

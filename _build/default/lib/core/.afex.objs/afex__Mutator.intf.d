@@ -1,0 +1,1 @@
+lib/core/mutator.mli: Afex_faultspace Afex_stats History Pqueue Sensitivity Test_case

@@ -1,0 +1,1 @@
+lib/core/pqueue.ml: Afex_stats Array Float List Test_case

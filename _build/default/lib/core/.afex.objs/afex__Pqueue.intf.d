@@ -1,0 +1,1 @@
+lib/core/pqueue.mli: Afex_stats Test_case

@@ -1,0 +1,1 @@
+lib/core/seeding.ml: Afex_faultspace Afex_injector Afex_simtarget Hashtbl List

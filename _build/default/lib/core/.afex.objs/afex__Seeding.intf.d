@@ -1,0 +1,1 @@
+lib/core/seeding.mli: Afex_faultspace Afex_simtarget

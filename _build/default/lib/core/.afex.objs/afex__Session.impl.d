@@ -1,0 +1,1 @@
+lib/core/session.ml: Afex_faultspace Afex_quality Array Config Executor Explorer Format Hashtbl List Option Test_case

@@ -1,0 +1,1 @@
+lib/core/session.mli: Afex_faultspace Config Executor Format Test_case

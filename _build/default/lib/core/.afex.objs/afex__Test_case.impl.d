@@ -1,0 +1,1 @@
+lib/core/test_case.ml: Afex_faultspace Afex_injector Format

@@ -1,0 +1,1 @@
+lib/core/test_case.mli: Afex_faultspace Afex_injector Format

@@ -1,0 +1,46 @@
+type strategy =
+  | Fitness_guided of Mutator.params
+  | Random_search
+  | Exhaustive
+
+type t = {
+  seed : int;
+  strategy : strategy;
+  queue_capacity : int;
+  initial_batch : int;
+  aging_decay : float;
+  retire_threshold : float;
+  sensitivity_window : int;
+  sensor : Afex_injector.Sensor.t;
+  relevance : Afex_quality.Relevance.t option;
+  feedback : bool;
+  eviction : Pqueue.eviction;
+  initial_seeds : Afex_faultspace.Point.t list;
+  setup_ms : float;
+}
+
+let base ?(seed = 1) strategy =
+  {
+    seed;
+    strategy;
+    queue_capacity = 50;
+    initial_batch = 25;
+    aging_decay = 0.98;
+    retire_threshold = 0.5;
+    sensitivity_window = 20;
+    sensor = Afex_injector.Sensor.standard ();
+    relevance = None;
+    feedback = false;
+    eviction = Pqueue.Inverse_fitness;
+    initial_seeds = [];
+    setup_ms = 5.0;
+  }
+
+let fitness_guided ?seed () = base ?seed (Fitness_guided Mutator.default_params)
+let random_search ?seed () = base ?seed Random_search
+let exhaustive ?seed () = base ?seed Exhaustive
+
+let strategy_name = function
+  | Fitness_guided _ -> "fitness-guided"
+  | Random_search -> "random"
+  | Exhaustive -> "exhaustive"

@@ -1,0 +1,42 @@
+(** Exploration configuration. *)
+
+type strategy =
+  | Fitness_guided of Mutator.params
+  | Random_search
+  | Exhaustive
+
+type t = {
+  seed : int;
+  strategy : strategy;
+  queue_capacity : int;  (** |Q_priority| *)
+  initial_batch : int;
+      (** number of random tests executed before guided mutation starts *)
+  aging_decay : float;
+      (** per-iteration multiplicative fitness decay in Q_priority *)
+  retire_threshold : float;
+      (** fitness below which aged tests are retired (can never have
+          offspring) *)
+  sensitivity_window : int;  (** n in the §3 sensitivity sum *)
+  sensor : Afex_injector.Sensor.t;
+  relevance : Afex_quality.Relevance.t option;
+      (** optional practical-relevance model weighing fitness (§5, §7.5) *)
+  feedback : bool;  (** online redundancy feedback loop (§7.4) *)
+  eviction : Pqueue.eviction;  (** Q_priority eviction rule *)
+  initial_seeds : Afex_faultspace.Point.t list;
+      (** candidate tests executed before random initial generation —
+          typically from static analysis (§4, see {!Seeding}); invalid or
+          duplicate points are skipped *)
+  setup_ms : float;
+      (** fixed per-test environment setup/cleanup cost, charged to the
+          simulated wall clock *)
+}
+
+val fitness_guided : ?seed:int -> unit -> t
+(** Paper-faithful defaults: σ = |Ai|/5, queue of 50, initial batch of 25,
+    aging decay 0.98, retirement below 0.5, sensitivity window 20, the
+    §6.4 standard sensor, no relevance model, feedback off. *)
+
+val random_search : ?seed:int -> unit -> t
+val exhaustive : ?seed:int -> unit -> t
+
+val strategy_name : strategy -> string

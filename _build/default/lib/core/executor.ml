@@ -1,0 +1,48 @@
+module Engine = Afex_injector.Engine
+module Fault = Afex_injector.Fault
+module Multifault = Afex_injector.Multifault
+module Target = Afex_simtarget.Target
+
+type t = {
+  run_scenario : Afex_faultspace.Scenario.t -> Afex_injector.Outcome.t;
+  total_blocks : int;
+  description : string;
+}
+
+let of_target ?nondet target =
+  let run_scenario scenario =
+    match Fault.of_scenario scenario with
+    | Ok fault -> Engine.run ?nondet target fault
+    | Error m -> invalid_arg ("Executor: undecodable scenario: " ^ m)
+  in
+  {
+    run_scenario;
+    total_blocks = Target.total_blocks target;
+    description = Printf.sprintf "%s %s" (Target.name target) (Target.version target);
+  }
+
+let of_target_multi ?nondet target =
+  let run_scenario scenario =
+    match Multifault.of_scenario scenario with
+    | Ok mf -> Multifault.run ?nondet target mf
+    | Error m -> invalid_arg ("Executor: undecodable multi-fault scenario: " ^ m)
+  in
+  {
+    run_scenario;
+    total_blocks = Target.total_blocks target;
+    description =
+      Printf.sprintf "%s %s (multi-fault)" (Target.name target) (Target.version target);
+  }
+
+let of_fn ~total_blocks ~description run =
+  let run_scenario scenario =
+    match Fault.of_scenario scenario with
+    | Ok fault -> run fault
+    | Error m -> invalid_arg ("Executor: undecodable scenario: " ^ m)
+  in
+  { run_scenario; total_blocks; description }
+
+let of_scenario_fn ~total_blocks ~description run_scenario =
+  { run_scenario; total_blocks; description }
+
+let run_fault t fault = t.run_scenario (Fault.to_scenario fault)

@@ -1,0 +1,43 @@
+(** What the explorer needs from the machinery that actually runs tests:
+    a way to execute one fault scenario and the size of the coverage
+    domain.
+
+    Execution is keyed on {e scenarios} (attribute bindings in the Fig. 5
+    wire format), not on any concrete fault type: the explorer stays
+    tool-independent (§3, "Alternative Algorithms") and the same search
+    code drives single-fault injectors, multi-fault injectors, or anything
+    a plugin can decode. *)
+
+type t = {
+  run_scenario : Afex_faultspace.Scenario.t -> Afex_injector.Outcome.t;
+  total_blocks : int;
+  description : string;
+}
+
+val of_target :
+  ?nondet:Afex_injector.Engine.nondeterminism -> Afex_simtarget.Target.t -> t
+(** Single-fault execution: scenarios must carry [testId], [function] and
+    [callNumber] (plus optional [errno]/[retval]).
+    @raise Invalid_argument at run time on an undecodable scenario. *)
+
+val of_target_multi :
+  ?nondet:Afex_injector.Engine.nondeterminism -> Afex_simtarget.Target.t -> t
+(** Multi-fault execution: scenarios in the {!Afex_injector.Multifault}
+    encoding (one [testId], then repeated [function]/[callNumber]
+    groups). *)
+
+val of_fn :
+  total_blocks:int ->
+  description:string ->
+  (Afex_injector.Fault.t -> Afex_injector.Outcome.t) ->
+  t
+(** Wrap a single-fault runner (used by tests and synthetic spaces). *)
+
+val of_scenario_fn :
+  total_blocks:int ->
+  description:string ->
+  (Afex_faultspace.Scenario.t -> Afex_injector.Outcome.t) ->
+  t
+
+val run_fault : t -> Afex_injector.Fault.t -> Afex_injector.Outcome.t
+(** Convenience: encode the fault as a scenario and run it. *)

@@ -1,0 +1,63 @@
+(** The explorer: the stateful search engine at the centre of AFEX (§6.1).
+
+    It hands out fault-injection candidates ({!next}) and learns from their
+    measured outcomes ({!report}). Separating the two lets the cluster
+    layer keep many candidates in flight on different node managers, while
+    {!Session} drives the same object sequentially. *)
+
+type t
+
+val create :
+  ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
+  Config.t ->
+  Afex_faultspace.Subspace.t ->
+  Executor.t ->
+  t
+(** [transform] maps search coordinates to target coordinates before the
+    fault is materialized (identity by default; the Table 4 structure-loss
+    experiment passes a {!Afex_faultspace.Shuffle} here). *)
+
+val next : t -> Mutator.proposal option
+(** Next candidate to execute. [None] only for the exhaustive strategy,
+    once the space is exhausted. The candidate is tracked as pending until
+    reported. *)
+
+val scenario_for : t -> Mutator.proposal -> Afex_faultspace.Scenario.t
+(** The concrete fault scenario for a proposal (transform applied). This
+    is exactly what travels to a node manager on the wire. *)
+
+val fault_for : t -> Mutator.proposal -> Afex_injector.Fault.t
+(** The proposal decoded as a single fault — only valid on standard
+    3-axis (plus optional errno/retval) spaces.
+    @raise Invalid_argument on compound spaces. *)
+
+val report : t -> Mutator.proposal -> Afex_injector.Outcome.t -> Test_case.t
+(** Feed back the outcome of a candidate: scores impact and fitness
+    (relevance- and feedback-weighted), updates coverage, Q_priority,
+    History, sensitivity, and ages the queue. *)
+
+val execute : t -> Mutator.proposal -> Test_case.t
+(** [report] after running the fault on the session's executor — the
+    sequential convenience used by {!Session}. *)
+
+(** Observable state *)
+
+val iterations : t -> int
+(** Number of reported (executed) tests. *)
+
+val records : t -> Test_case.t list
+(** Chronological. *)
+
+val failed_count : t -> int
+val crashed_count : t -> int
+val hung_count : t -> int
+val triggered_count : t -> int
+val covered_blocks : t -> int
+val simulated_ms : t -> float
+(** Simulated wall-clock: test durations plus per-test setup. *)
+
+val sensitivity_probabilities : t -> float array
+val queue_snapshot : t -> Test_case.t list
+val history_size : t -> int
+val subspace : t -> Afex_faultspace.Subspace.t
+val config : t -> Config.t

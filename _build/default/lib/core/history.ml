@@ -1,0 +1,6 @@
+type t = (string, unit) Hashtbl.t
+
+let create () = Hashtbl.create 1024
+let mem t p = Hashtbl.mem t (Afex_faultspace.Point.key p)
+let add t p = Hashtbl.replace t (Afex_faultspace.Point.key p) ()
+let size t = Hashtbl.length t

@@ -1,0 +1,9 @@
+(** The History set: every point ever executed (or queued), so the search
+    never pays for the same test twice (§3). *)
+
+type t
+
+val create : unit -> t
+val mem : t -> Afex_faultspace.Point.t -> bool
+val add : t -> Afex_faultspace.Point.t -> unit
+val size : t -> int

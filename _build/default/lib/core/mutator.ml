@@ -1,0 +1,78 @@
+module Rng = Afex_stats.Rng
+module Dist = Afex_stats.Dist
+module Subspace = Afex_faultspace.Subspace
+module Axis = Afex_faultspace.Axis
+module Point = Afex_faultspace.Point
+
+type params = {
+  sigma_fraction : float;
+  max_attempts : int;
+  uniform_axis_choice : bool;
+  uniform_value_choice : bool;
+  dynamic_sigma : bool;
+}
+
+let default_params =
+  {
+    sigma_fraction = 0.2;
+    max_attempts = 40;
+    uniform_axis_choice = false;
+    uniform_value_choice = false;
+    dynamic_sigma = false;
+  }
+
+type proposal = { point : Point.t; mutated_axis : int option }
+
+let sigma_for params axis =
+  params.sigma_fraction *. float_of_int (Axis.cardinality axis)
+
+let mutate params rng sub sens ~parent =
+  let axis_index =
+    if params.uniform_axis_choice then Rng.int rng (Subspace.dim sub)
+    else Dist.sample_weighted rng (Sensitivity.probabilities sens)
+  in
+  let axis = Subspace.axis sub axis_index in
+  let n = Axis.cardinality axis in
+  let old_value = Point.get parent.Test_case.point axis_index in
+  let new_value =
+    if n < 2 then old_value
+    else if params.uniform_value_choice then begin
+      (* Uniform over the axis, excluding the current value. *)
+      let v = Rng.int rng (n - 1) in
+      if v >= old_value then v + 1 else v
+    end
+    else begin
+      let sigma =
+        let base = sigma_for params axis in
+        if params.dynamic_sigma then begin
+          (* Hot axes (high recent payoff) get finer steps, cold axes wider
+             jumps; the factor stays within [0.5, 1.5] of the static sigma. *)
+          let p = (Sensitivity.probabilities sens).(axis_index) in
+          base *. (1.5 -. p)
+        end
+        else base
+      in
+      Dist.sample_gaussian_index_excluding rng ~center:old_value ~sigma ~n
+    end
+  in
+  (Point.with_component parent.Test_case.point axis_index new_value, axis_index)
+
+let next params rng sub sens ~queue ~history ~is_pending =
+  let novel p = (not (History.mem history p)) && not (is_pending p) in
+  let rec attempt k =
+    if k >= params.max_attempts then
+      (* Neighbourhoods exhausted: fall back to uniform exploration. *)
+      { point = Subspace.random_point rng sub; mutated_axis = None }
+    else begin
+      match Pqueue.sample rng queue with
+      | None ->
+          let p = Subspace.random_point rng sub in
+          if novel p then { point = p; mutated_axis = None } else attempt (k + 1)
+      | Some parent ->
+          let point, axis = mutate params rng sub sens ~parent in
+          if novel point && Subspace.mem sub point then
+            { point; mutated_axis = Some axis }
+          else attempt (k + 1)
+    end
+  in
+  attempt 0

@@ -1,0 +1,61 @@
+(** Algorithm 1: fitness-guided generation of the next test.
+
+    Picks a parent from Q_priority with fitness-proportional probability,
+    an attribute with sensitivity-proportional probability, and a new value
+    for that attribute from a discrete Gaussian centred on the old value
+    with σ = |Ai|/5 (§3). The offspring is rejected if already executed or
+    pending. *)
+
+type params = {
+  sigma_fraction : float;  (** σ as a fraction of axis cardinality; paper: 1/5 *)
+  max_attempts : int;
+      (** how many parent/axis/value draws to try before giving up and
+          falling back to a random point *)
+  uniform_axis_choice : bool;
+      (** ablation switch: ignore sensitivity and pick the mutated axis
+          uniformly *)
+  uniform_value_choice : bool;
+      (** ablation switch: replace the Gaussian magnitude distribution with
+          a uniform draw over the axis *)
+  dynamic_sigma : bool;
+      (** extension (the paper leaves dynamic sigma to future work): scale
+          sigma by how the currently explored vicinity has been paying off
+          -- hot axes get finer steps (exploit locally), cold axes wider
+          jumps (escape) *)
+}
+
+val default_params : params
+(** σ = |Ai|/5, 40 attempts, both ablation switches off — the paper's
+    Algorithm 1. *)
+
+type proposal = {
+  point : Afex_faultspace.Point.t;
+  mutated_axis : int option;  (** [None] when the proposal is random *)
+}
+
+val sigma_for : params -> Afex_faultspace.Axis.t -> float
+
+val mutate :
+  params ->
+  Afex_stats.Rng.t ->
+  Afex_faultspace.Subspace.t ->
+  Sensitivity.t ->
+  parent:Test_case.t ->
+  Afex_faultspace.Point.t * int
+(** One mutation step: returns the offspring and the mutated axis (the
+    offspring may coincide with an executed test; the caller dedupes). *)
+
+val next :
+  params ->
+  Afex_stats.Rng.t ->
+  Afex_faultspace.Subspace.t ->
+  Sensitivity.t ->
+  queue:Pqueue.t ->
+  history:History.t ->
+  is_pending:(Afex_faultspace.Point.t -> bool) ->
+  proposal
+(** Full candidate generation: repeated mutation attempts, falling back to
+    fresh uniform points when the queue is empty or the neighbourhood is
+    exhausted. The result is guaranteed novel w.r.t. history and pending
+    (if any novel point remains findable within the attempt budget;
+    otherwise the last random draw is returned regardless). *)

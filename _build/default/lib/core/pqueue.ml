@@ -1,0 +1,85 @@
+module Rng = Afex_stats.Rng
+module Dist = Afex_stats.Dist
+
+(* The queue is small (tens of entries), so a plain list with O(n)
+   operations is simpler than a heap and fast enough: sampling is O(n)
+   regardless because it is probabilistic, not max-first. *)
+type t = { capacity : int; mutable entries : Test_case.t list }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Pqueue.create: capacity < 1";
+  { capacity; entries = [] }
+
+let size t = List.length t.entries
+let is_empty t = t.entries = []
+let capacity t = t.capacity
+
+(* Sampling floor: even zero-fitness entries keep a small chance, so the
+   search never hard-locks onto one test. *)
+let floor_weight = 1e-6
+
+let weights entries f =
+  Array.of_list
+    (List.map (fun c -> Float.max floor_weight (f c.Test_case.fitness)) entries)
+
+let remove_nth entries n =
+  let rec go i acc = function
+    | [] -> invalid_arg "Pqueue.remove_nth"
+    | x :: rest ->
+        if i = n then (x, List.rev_append acc rest) else go (i + 1) (x :: acc) rest
+  in
+  go 0 [] entries
+
+type eviction = Inverse_fitness | Drop_min
+
+let insert ?(policy = Inverse_fitness) rng t case =
+  if List.length t.entries < t.capacity then begin
+    t.entries <- case :: t.entries;
+    None
+  end
+  else begin
+    let victim_index =
+      match policy with
+      | Inverse_fitness ->
+          let inverse = weights t.entries (fun w -> 1.0 /. Float.max floor_weight w) in
+          Dist.sample_weighted rng inverse
+      | Drop_min ->
+          let _, index, _ =
+            List.fold_left
+              (fun (i, best_i, best_w) c ->
+                if c.Test_case.fitness < best_w then (i + 1, i, c.Test_case.fitness)
+                else (i + 1, best_i, best_w))
+              (0, 0, infinity) t.entries
+          in
+          index
+    in
+    let victim, rest = remove_nth t.entries victim_index in
+    t.entries <- case :: rest;
+    Some victim
+  end
+
+let sample rng t =
+  match t.entries with
+  | [] -> None
+  | entries ->
+      let direct = weights entries (fun w -> w) in
+      Some (List.nth entries (Dist.sample_weighted rng direct))
+
+let age t ~decay ~retire_below =
+  List.iter
+    (fun case -> case.Test_case.fitness <- case.Test_case.fitness *. decay)
+    t.entries;
+  let kept, retired =
+    List.partition (fun case -> case.Test_case.fitness >= retire_below) t.entries
+  in
+  t.entries <- kept;
+  retired
+
+let mean_fitness t =
+  match t.entries with
+  | [] -> 0.0
+  | entries ->
+      List.fold_left (fun acc c -> acc +. c.Test_case.fitness) 0.0 entries
+      /. float_of_int (List.length entries)
+
+let elements t = t.entries

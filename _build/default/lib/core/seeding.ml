@@ -1,0 +1,47 @@
+module Analyzer = Afex_simtarget.Analyzer
+module Fault = Afex_injector.Fault
+module Plugin = Afex_injector.Plugin
+
+let points_for sub target findings ~max_seeds =
+  (* Per finding, the list of (test, call) coordinates reaching it. *)
+  let pools =
+    List.map (fun f -> (f, Analyzer.reaching_injections target f)) findings
+  in
+  let seen = Hashtbl.create 64 in
+  let seeds = ref [] and n = ref 0 in
+  let try_add finding (test_id, call_number) =
+    if !n < max_seeds then begin
+      let fault =
+        Fault.make ~test_id ~func:finding.Analyzer.func ~call_number ()
+      in
+      match Plugin.point_of_fault sub fault with
+      | Some point ->
+          let key = Afex_faultspace.Point.key point in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            seeds := point :: !seeds;
+            incr n
+          end
+      | None -> ()
+    end
+  in
+  (* Round-robin: first reaching injection of every finding, then the
+     second of every finding, and so on. *)
+  let rec rounds pools =
+    if !n >= max_seeds || pools = [] then ()
+    else begin
+      let rest =
+        List.filter_map
+          (fun (finding, coords) ->
+            match coords with
+            | [] -> None
+            | c :: tail ->
+                try_add finding c;
+                if tail = [] then None else Some (finding, tail))
+          pools
+      in
+      rounds rest
+    end
+  in
+  rounds pools;
+  List.rev !seeds

@@ -1,0 +1,16 @@
+(** Turning static-analysis findings into initial search seeds (§4).
+
+    Each flagged callsite is located in the test suite (which tests reach
+    it, at which call number) and mapped to fault-space points; the
+    explorer executes those before falling back to random generation,
+    "starting off with highly relevant tests from the beginning". *)
+
+val points_for :
+  Afex_faultspace.Subspace.t ->
+  Afex_simtarget.Target.t ->
+  Afex_simtarget.Analyzer.finding list ->
+  max_seeds:int ->
+  Afex_faultspace.Point.t list
+(** Round-robins over findings (one reaching injection per finding per
+    round) so the seed budget spreads across flagged sites; findings whose
+    coordinates fall outside the subspace are skipped. *)

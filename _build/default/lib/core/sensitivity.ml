@@ -1,0 +1,42 @@
+type axis_state = { mutable samples : float list (* newest first, <= window *) }
+
+type t = { window : int; axes : axis_state array; prior : float }
+
+let create ?(window = 20) ~dims () =
+  if dims < 1 then invalid_arg "Sensitivity.create: dims < 1";
+  if window < 1 then invalid_arg "Sensitivity.create: window < 1";
+  { window; axes = Array.init dims (fun _ -> { samples = [] }); prior = 1.0 }
+
+let record t ~axis ~fitness =
+  let state = t.axes.(axis) in
+  let trimmed =
+    if List.length state.samples >= t.window then
+      List.filteri (fun i _ -> i < t.window - 1) state.samples
+    else state.samples
+  in
+  state.samples <- fitness :: trimmed
+
+(* An axis with no samples yet reports an optimistic prior, so the search
+   starts out direction-agnostic rather than locked on the first axis that
+   happened to pay off. *)
+let value t i =
+  let state = t.axes.(i) in
+  match state.samples with
+  | [] -> t.prior
+  | samples -> List.fold_left ( +. ) 0.0 samples
+
+let values t = Array.init (Array.length t.axes) (value t)
+
+let probabilities t =
+  let raw = values t in
+  let total = Array.fold_left ( +. ) 0.0 raw in
+  let n = Array.length raw in
+  let uniform = 1.0 /. float_of_int n in
+  if total <= 0.0 then Array.make n uniform
+  else begin
+    (* 10% of the mass stays uniform: no axis is ever fully abandoned. *)
+    let epsilon = 0.10 in
+    Array.map (fun v -> (epsilon *. uniform) +. ((1.0 -. epsilon) *. v /. total)) raw
+  end
+
+let dims t = Array.length t.axes

@@ -1,0 +1,24 @@
+(** Per-axis sensitivity (§3): the historical benefit of mutating each
+    attribute.
+
+    Given a window size n, the sensitivity of axis Xi is the sum of the
+    fitness values of the last n executed tests whose creation mutated
+    attribute αi. High sensitivity means mutations along that axis kept
+    paying off — the dynamic stand-in for relative linear density. *)
+
+type t
+
+val create : ?window:int -> dims:int -> unit -> t
+(** [window] defaults to 20 samples per axis. Axes start with a neutral
+    optimistic prior so early exploration tries every direction. *)
+
+val record : t -> axis:int -> fitness:float -> unit
+val value : t -> int -> float
+val values : t -> float array
+
+val probabilities : t -> float array
+(** Normalized axis-choice distribution (line 5 of Algorithm 1), with a
+    small floor on every axis so no direction is ever abandoned
+    completely. *)
+
+val dims : t -> int

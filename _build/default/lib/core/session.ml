@@ -1,0 +1,172 @@
+module Clustering = Afex_quality.Clustering
+
+type stop = { matches : Test_case.t -> bool; count : int }
+
+type result = {
+  strategy : string;
+  iterations : int;
+  executed : Test_case.t list;
+  failed : int;
+  crashed : int;
+  hung : int;
+  triggered : int;
+  covered_blocks : int;
+  total_blocks : int;
+  coverage_percent : float;
+  distinct_failure_traces : int;
+  distinct_crash_traces : int;
+  failure_clusters : int;
+  crash_clusters : int;
+  simulated_ms : float;
+  sensitivity : float array;
+  failure_curve : int array;
+  stopped_early : bool;
+  stop_iteration : int option;
+}
+
+let trace_of case = Option.value case.Test_case.injection_stack ~default:[]
+
+let summarize explorer ~total_blocks ~stopped_early ~stop_iteration =
+  let executed = Explorer.records explorer in
+  let failing = List.filter Test_case.failed executed in
+  let crashing = List.filter Test_case.crashed executed in
+  let failure_traces = List.map trace_of (List.filter (fun c -> c.Test_case.triggered) failing) in
+  let crash_traces =
+    List.filter_map (fun c -> c.Test_case.crash_stack) crashing
+  in
+  let curve = Array.make (List.length executed) 0 in
+  let _ =
+    List.fold_left
+      (fun (i, acc) case ->
+        let acc = if Test_case.failed case then acc + 1 else acc in
+        curve.(i) <- acc;
+        (i + 1, acc))
+      (0, 0) executed
+  in
+  let covered = Explorer.covered_blocks explorer in
+  {
+    strategy = Config.strategy_name (Explorer.config explorer).Config.strategy;
+    iterations = Explorer.iterations explorer;
+    executed;
+    failed = Explorer.failed_count explorer;
+    crashed = Explorer.crashed_count explorer;
+    hung = Explorer.hung_count explorer;
+    triggered = Explorer.triggered_count explorer;
+    covered_blocks = covered;
+    total_blocks;
+    coverage_percent =
+      (if total_blocks = 0 then 0.0
+       else 100.0 *. float_of_int covered /. float_of_int total_blocks);
+    distinct_failure_traces = Clustering.distinct_traces failure_traces;
+    distinct_crash_traces = Clustering.distinct_traces crash_traces;
+    failure_clusters = Clustering.cluster_count ~trace:(fun tr -> tr) failure_traces;
+    crash_clusters = Clustering.cluster_count ~trace:(fun tr -> tr) crash_traces;
+    simulated_ms = Explorer.simulated_ms explorer;
+    sensitivity = Explorer.sensitivity_probabilities explorer;
+    failure_curve = curve;
+    stopped_early;
+    stop_iteration;
+  }
+
+let run ?transform ?stop ?time_budget_ms ~iterations config sub executor =
+  let explorer = Explorer.create ?transform config sub executor in
+  (* Matches are counted over distinct fault-space points, so strategies
+     that sample with replacement (random search) cannot satisfy a "find
+     all K" target by rediscovering the same fault. *)
+  let matched = Hashtbl.create 16 and stop_iteration = ref None in
+  let target_met () =
+    match stop with Some s -> Hashtbl.length matched >= s.count | None -> false
+  in
+  let time_exhausted () =
+    match time_budget_ms with
+    | Some budget -> Explorer.simulated_ms explorer >= budget
+    | None -> false
+  in
+  let rec loop remaining =
+    if remaining <= 0 || target_met () || time_exhausted () then ()
+    else begin
+      match Explorer.next explorer with
+      | None -> () (* exhaustive strategy ran out of space *)
+      | Some proposal ->
+          let case = Explorer.execute explorer proposal in
+          (match stop with
+          | Some s when s.matches case ->
+              Hashtbl.replace matched (Afex_faultspace.Point.key case.Test_case.point) ();
+              if Hashtbl.length matched >= s.count && !stop_iteration = None then
+                stop_iteration := Some (Explorer.iterations explorer)
+          | Some _ | None -> ());
+          loop (remaining - 1)
+    end
+  in
+  loop iterations;
+  summarize explorer ~total_blocks:executor.Executor.total_blocks
+    ~stopped_early:(target_met ()) ~stop_iteration:!stop_iteration
+
+let top_faults result ~n =
+  let sorted =
+    List.sort
+      (fun a b -> compare b.Test_case.impact a.Test_case.impact)
+      result.executed
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let crash_cluster_representatives result =
+  let crashing =
+    List.filter (fun c -> c.Test_case.crash_stack <> None) result.executed
+  in
+  let clusters =
+    Clustering.cluster
+      ~trace:(fun c -> Option.value c.Test_case.crash_stack ~default:[])
+      crashing
+  in
+  List.map (fun c -> c.Clustering.representative) clusters
+
+let found_matching result matches =
+  List.length (List.filter matches result.executed)
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "%s: %d tests, %d failed (%d crashes, %d hangs), coverage %.2f%%, %d/%d \
+     distinct failure/crash traces, %.1fs simulated"
+    r.strategy r.iterations r.failed r.crashed r.hung r.coverage_percent
+    r.distinct_failure_traces r.distinct_crash_traces (r.simulated_ms /. 1000.0)
+
+type space_result = {
+  per_subspace : (string option * result) list;
+  total_iterations : int;
+  total_failed : int;
+  total_crashed : int;
+}
+
+let run_space ?stop ~iterations config space executor =
+  let subs = Afex_faultspace.Space.subspaces space in
+  let cardinalities = List.map Afex_faultspace.Subspace.cardinality subs in
+  let total_cardinality = max 1 (List.fold_left ( + ) 0 cardinalities) in
+  let share card =
+    max 1 (iterations * card / total_cardinality)
+  in
+  let per_subspace =
+    List.mapi
+      (fun i sub ->
+        let budget = share (Afex_faultspace.Subspace.cardinality sub) in
+        let config = { config with Config.seed = config.Config.seed + (31 * i) } in
+        (Afex_faultspace.Subspace.label sub, run ?stop ~iterations:budget config sub executor))
+      subs
+  in
+  {
+    per_subspace;
+    total_iterations =
+      List.fold_left (fun acc (_, r) -> acc + r.iterations) 0 per_subspace;
+    total_failed = List.fold_left (fun acc (_, r) -> acc + r.failed) 0 per_subspace;
+    total_crashed = List.fold_left (fun acc (_, r) -> acc + r.crashed) 0 per_subspace;
+  }
+
+let pp_space_summary ppf sr =
+  Format.fprintf ppf "union of %d subspaces: %d tests, %d failed, %d crashes@."
+    (List.length sr.per_subspace) sr.total_iterations sr.total_failed sr.total_crashed;
+  List.iter
+    (fun (label, r) ->
+      Format.fprintf ppf "  %-16s %a@."
+        (Option.value label ~default:"(unlabelled)")
+        pp_summary r)
+    sr.per_subspace

@@ -1,0 +1,88 @@
+(** A fault exploration session (§6): drive the explorer against an
+    executor until an iteration budget or a search target is met, then
+    summarize everything the paper's tables report. *)
+
+type stop = {
+  matches : Test_case.t -> bool;
+  count : int;
+      (** stop once this many {e distinct} fault-space points matched
+          (rediscovering the same fault does not count twice) *)
+}
+
+type result = {
+  strategy : string;
+  iterations : int;
+  executed : Test_case.t list;  (** chronological *)
+  failed : int;  (** injections that made the test fail (incl. crash/hang) *)
+  crashed : int;
+  hung : int;
+  triggered : int;
+  covered_blocks : int;
+  total_blocks : int;
+  coverage_percent : float;
+  distinct_failure_traces : int;
+      (** exactly-distinct injection stacks among failing tests — the
+          "unique failures" of Table 5 *)
+  distinct_crash_traces : int;
+  failure_clusters : int;  (** Levenshtein redundancy clusters (§5) *)
+  crash_clusters : int;
+  simulated_ms : float;
+  sensitivity : float array;  (** final axis probabilities *)
+  failure_curve : int array;
+      (** cumulative failed-test count after each iteration (Fig. 8) *)
+  stopped_early : bool;
+  stop_iteration : int option;
+      (** iteration at which the [stop] target was satisfied *)
+}
+
+val run :
+  ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
+  ?stop:stop ->
+  ?time_budget_ms:float ->
+  iterations:int ->
+  Config.t ->
+  Afex_faultspace.Subspace.t ->
+  Executor.t ->
+  result
+(** Explores until the iteration budget, the [stop] target, or the
+    simulated wall-clock [time_budget_ms] is exhausted — the three stopping
+    rules of §6.4 step 6 ("after some specified amount of time, after a
+    number of tests executed, or after a given threshold is met"). *)
+
+val top_faults : result -> n:int -> Test_case.t list
+(** Highest measured impact first. *)
+
+val crash_cluster_representatives : result -> Test_case.t list
+(** One representative per crash-stack redundancy cluster, the paper's
+    "map of faults, clustered by degree of redundancy". *)
+
+val found_matching : result -> (Test_case.t -> bool) -> int
+(** Number of executed tests satisfying a predicate. *)
+
+val pp_summary : Format.formatter -> result -> unit
+
+(** {2 Union spaces}
+
+    Fault space descriptions are unions of subspaces (Fig. 4 unions two
+    hyperspaces with [";"]); a union is explored by splitting the budget
+    across its members proportionally to their cardinality. *)
+
+type space_result = {
+  per_subspace : (string option * result) list;
+      (** subspace label paired with its session result *)
+  total_iterations : int;
+  total_failed : int;
+  total_crashed : int;
+}
+
+val run_space :
+  ?stop:stop ->
+  iterations:int ->
+  Config.t ->
+  Afex_faultspace.Space.t ->
+  Executor.t ->
+  space_result
+(** Each subspace gets a fresh explorer seeded from the session seed and
+    its index, with at least one iteration per non-empty share. *)
+
+val pp_space_summary : Format.formatter -> space_result -> unit

@@ -1,0 +1,29 @@
+module Outcome = Afex_injector.Outcome
+
+type t = {
+  point : Afex_faultspace.Point.t;
+  fault : Afex_injector.Fault.t;
+  status : Outcome.status;
+  triggered : bool;
+  impact : float;
+  mutable fitness : float;
+  birth : int;
+  mutated_axis : int option;
+  injection_stack : string list option;
+  crash_stack : string list option;
+  new_blocks : int;
+  duration_ms : float;
+}
+
+let failed t =
+  match t.status with
+  | Outcome.Test_failed | Outcome.Crashed | Outcome.Hung -> true
+  | Outcome.Passed -> false
+
+let crashed t = t.status = Outcome.Crashed
+
+let pp ppf t =
+  Format.fprintf ppf "%a -> %s impact=%.2f fitness=%.2f"
+    Afex_faultspace.Point.pp t.point
+    (Outcome.status_to_string t.status)
+    t.impact t.fitness

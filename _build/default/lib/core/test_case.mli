@@ -1,0 +1,25 @@
+(** An executed fault-injection test, as tracked by the explorer. *)
+
+type t = {
+  point : Afex_faultspace.Point.t;  (** coordinates in the search subspace *)
+  fault : Afex_injector.Fault.t;
+  status : Afex_injector.Outcome.status;
+  triggered : bool;
+  impact : float;  (** measured impact I_S(φ) *)
+  mutable fitness : float;
+      (** starts equal to the (feedback/relevance-weighted) impact, then
+          decays with age (§3, "aging") *)
+  birth : int;  (** iteration at which the test was executed *)
+  mutated_axis : int option;
+      (** which attribute was mutated to produce this test; [None] for the
+          random initial batch *)
+  injection_stack : string list option;
+  crash_stack : string list option;
+  new_blocks : int;
+  duration_ms : float;
+}
+
+val failed : t -> bool
+val crashed : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/faultspace/axis.ml: Array Format Printf String Value

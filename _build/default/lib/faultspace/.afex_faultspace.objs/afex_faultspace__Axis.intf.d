@@ -1,0 +1,1 @@
+lib/faultspace/axis.mli: Format Value

@@ -1,0 +1,1 @@
+lib/faultspace/density.ml: Axis List Point Seq Subspace

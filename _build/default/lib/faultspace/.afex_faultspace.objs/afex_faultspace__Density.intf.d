@@ -1,0 +1,1 @@
+lib/faultspace/density.mli: Point Subspace

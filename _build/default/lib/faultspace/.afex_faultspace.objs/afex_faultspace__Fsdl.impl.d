@@ -1,0 +1,1 @@
+lib/faultspace/fsdl.ml: Array Axis Fsdl_ast Fsdl_parser Fsdl_printer List Result Space String Subspace

@@ -1,0 +1,1 @@
+lib/faultspace/fsdl.mli: Fsdl_ast Space

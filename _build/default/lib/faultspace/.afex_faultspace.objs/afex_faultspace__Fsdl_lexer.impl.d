@@ -1,0 +1,1 @@
+lib/faultspace/fsdl_lexer.ml: List Printf String

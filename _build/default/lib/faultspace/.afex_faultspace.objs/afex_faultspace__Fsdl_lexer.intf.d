@@ -1,0 +1,1 @@
+lib/faultspace/fsdl_lexer.mli:

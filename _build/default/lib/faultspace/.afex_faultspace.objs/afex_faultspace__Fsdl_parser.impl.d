@@ -1,0 +1,1 @@
+lib/faultspace/fsdl_parser.ml: Fsdl_ast Fsdl_lexer List Printf

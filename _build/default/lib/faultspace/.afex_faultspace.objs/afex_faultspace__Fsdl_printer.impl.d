@@ -1,0 +1,1 @@
+lib/faultspace/fsdl_printer.ml: Format Fsdl_ast List Printf String

@@ -1,0 +1,1 @@
+lib/faultspace/fsdl_printer.mli: Format Fsdl_ast

@@ -1,0 +1,1 @@
+lib/faultspace/point.ml: Array Format Hashtbl List Stdlib String

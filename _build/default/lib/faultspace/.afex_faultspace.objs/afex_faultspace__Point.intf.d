@@ -1,0 +1,1 @@
+lib/faultspace/point.mli: Format

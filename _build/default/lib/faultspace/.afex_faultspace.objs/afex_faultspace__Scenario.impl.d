@@ -1,0 +1,1 @@
+lib/faultspace/scenario.ml: Format List Printf String Subspace Value

@@ -1,0 +1,1 @@
+lib/faultspace/scenario.mli: Format Point Subspace Value

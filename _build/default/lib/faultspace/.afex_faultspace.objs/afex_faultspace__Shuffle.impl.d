@@ -1,0 +1,1 @@
+lib/faultspace/shuffle.ml: Afex_stats Array Axis List Point Subspace

@@ -1,0 +1,1 @@
+lib/faultspace/shuffle.mli: Afex_stats Point Subspace

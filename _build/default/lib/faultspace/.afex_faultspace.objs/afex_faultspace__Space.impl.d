@@ -1,0 +1,1 @@
+lib/faultspace/space.ml: Afex_stats Array Format Point Seq Subspace

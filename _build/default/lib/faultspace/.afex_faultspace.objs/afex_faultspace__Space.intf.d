@@ -1,0 +1,1 @@
+lib/faultspace/space.mli: Afex_stats Format Point Seq Subspace Value

@@ -1,0 +1,1 @@
+lib/faultspace/subspace.ml: Afex_stats Array Axis Format List Point Seq String

@@ -1,0 +1,1 @@
+lib/faultspace/subspace.mli: Afex_stats Axis Format Point Seq Value

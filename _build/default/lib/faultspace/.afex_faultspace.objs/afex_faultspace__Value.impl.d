@@ -1,0 +1,1 @@
+lib/faultspace/value.ml: Format Int Printf String

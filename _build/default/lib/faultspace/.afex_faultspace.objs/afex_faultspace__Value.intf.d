@@ -1,0 +1,1 @@
+lib/faultspace/value.mli: Format

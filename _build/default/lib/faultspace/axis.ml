@@ -1,0 +1,93 @@
+type kind =
+  | Symbols of string array
+  | Range of { lo : int; hi : int }
+  | Subinterval of { lo : int; hi : int }
+
+type t = { name : string; kind : kind; cardinality : int }
+
+let cardinality_of_kind = function
+  | Symbols a -> Array.length a
+  | Range { lo; hi } -> hi - lo + 1
+  | Subinterval { lo; hi } ->
+      let m = hi - lo + 1 in
+      m * (m + 1) / 2
+
+let make ~name kind =
+  (match kind with
+  | Symbols [||] -> invalid_arg "Axis.make: empty symbol set"
+  | Symbols _ -> ()
+  | Range { lo; hi } | Subinterval { lo; hi } ->
+      if hi < lo then invalid_arg "Axis.make: inverted range");
+  { name; kind; cardinality = cardinality_of_kind kind }
+
+let symbols name syms = make ~name (Symbols (Array.of_list syms))
+let range name ~lo ~hi = make ~name (Range { lo; hi })
+let subinterval name ~lo ~hi = make ~name (Subinterval { lo; hi })
+
+let name t = t.name
+let kind t = t.kind
+let cardinality t = t.cardinality
+
+(* Sub-interval order: all intervals starting at lo first (by increasing
+   upper bound), then those starting at lo+1, etc. — lexicographic. *)
+let subinterval_of_index ~lo ~hi i =
+  let m = hi - lo + 1 in
+  let rec find_start start remaining =
+    let row = m - (start - lo) in
+    if remaining < row then (start, start + remaining)
+    else find_start (start + 1) (remaining - row)
+  in
+  ignore hi;
+  find_start lo i
+
+let index_of_subinterval ~lo ~hi (a, b) =
+  let m = hi - lo + 1 in
+  if a < lo || b > hi || b < a then None
+  else begin
+    (* Number of intervals with start < a: sum of row lengths m, m-1, ... *)
+    let k = a - lo in
+    let before = (k * ((2 * m) - k + 1)) / 2 in
+    Some (before + (b - a))
+  end
+
+let value t i =
+  if i < 0 || i >= t.cardinality then
+    invalid_arg
+      (Printf.sprintf "Axis.value: index %d out of bounds for %s (cardinality %d)" i
+         t.name t.cardinality);
+  match t.kind with
+  | Symbols a -> Value.Sym a.(i)
+  | Range { lo; _ } -> Value.Int (lo + i)
+  | Subinterval { lo; hi } ->
+      let a, b = subinterval_of_index ~lo ~hi i in
+      Value.Pair (a, b)
+
+let index_of_value t v =
+  match t.kind, v with
+  | Symbols a, Value.Sym s ->
+      let rec find i =
+        if i >= Array.length a then None
+        else if String.equal a.(i) s then Some i
+        else find (i + 1)
+      in
+      find 0
+  | Range { lo; hi }, Value.Int x -> if x >= lo && x <= hi then Some (x - lo) else None
+  | Subinterval { lo; hi }, Value.Pair (a, b) -> index_of_subinterval ~lo ~hi (a, b)
+  | (Symbols _ | Range _ | Subinterval _), _ -> None
+
+let equal a b =
+  String.equal a.name b.name
+  &&
+  match a.kind, b.kind with
+  | Symbols x, Symbols y -> x = y
+  | Range { lo = l1; hi = h1 }, Range { lo = l2; hi = h2 }
+  | Subinterval { lo = l1; hi = h1 }, Subinterval { lo = l2; hi = h2 } ->
+      l1 = l2 && h1 = h2
+  | (Symbols _ | Range _ | Subinterval _), _ -> false
+
+let pp ppf t =
+  match t.kind with
+  | Symbols a ->
+      Format.fprintf ppf "%s : { %s }" t.name (String.concat ", " (Array.to_list a))
+  | Range { lo; hi } -> Format.fprintf ppf "%s : [ %d, %d ]" t.name lo hi
+  | Subinterval { lo; hi } -> Format.fprintf ppf "%s : < %d, %d >" t.name lo hi

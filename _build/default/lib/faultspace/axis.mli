@@ -1,0 +1,41 @@
+(** A totally-ordered fault-space axis (§2 of the paper).
+
+    An axis [Xi] lays the values of an attribute domain [Ai] along a total
+    order, so that a fault can be represented by the vector of its
+    attribute-value *indices* and distances between faults are meaningful.
+
+    Three domain shapes exist, mirroring the fault description language:
+    explicit symbol sets ([{ malloc, calloc }]), integer intervals
+    ([\[1, 100\]]) and sub-interval domains ([<1, 50>], whose elements are
+    all inclusive sub-intervals ordered lexicographically). *)
+
+type kind =
+  | Symbols of string array
+  | Range of { lo : int; hi : int }
+  | Subinterval of { lo : int; hi : int }
+
+type t
+
+val make : name:string -> kind -> t
+(** @raise Invalid_argument on an empty symbol set or an inverted range. *)
+
+val symbols : string -> string list -> t
+val range : string -> lo:int -> hi:int -> t
+val subinterval : string -> lo:int -> hi:int -> t
+
+val name : t -> string
+val kind : t -> kind
+
+val cardinality : t -> int
+(** Number of attribute values on the axis. For [Subinterval] this is
+    m(m+1)/2 where m = hi-lo+1. *)
+
+val value : t -> int -> Value.t
+(** [value t i] is the attribute value at index [i] under the axis order.
+    @raise Invalid_argument if [i] is out of bounds. *)
+
+val index_of_value : t -> Value.t -> int option
+(** Inverse of {!value}. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+type impact = Point.t -> float
+
+let average f seq =
+  let total = ref 0.0 and n = ref 0 in
+  Seq.iter
+    (fun p ->
+      total := !total +. f p;
+      incr n)
+    seq;
+  if !n = 0 then 0.0 else !total /. float_of_int !n
+
+let line t point ~axis =
+  let card = Axis.cardinality (Subspace.axis t axis) in
+  Seq.filter (Subspace.mem t)
+    (Seq.map (fun v -> Point.with_component point axis v)
+       (Seq.init card (fun v -> v)))
+
+let line_average t f point ~axis = average f (line t point ~axis)
+let space_average t f = average f (Subspace.enumerate t)
+let vicinity_average t f point ~d = average f (Subspace.vicinity t point ~d)
+
+let ratio num den = if den <= 0.0 then 0.0 else num /. den
+
+let relative_linear_density t f point ~axis =
+  ratio (line_average t f point ~axis) (space_average t f)
+
+let relative_linear_density_in_vicinity t f point ~axis ~d =
+  let on_line p =
+    (* Same attributes as [point] except possibly along [axis]. *)
+    let rec same i =
+      i >= Point.dim p
+      || ((i = axis || Point.get p i = Point.get point i) && same (i + 1))
+    in
+    same 0
+  in
+  let vicinity = Subspace.vicinity t point ~d in
+  let line_avg = average f (Seq.filter on_line vicinity) in
+  ratio line_avg (vicinity_average t f point ~d)
+
+let structured_axes t f ~samples =
+  let n = Subspace.dim t in
+  let densities =
+    List.init n (fun axis ->
+        let values = List.map (fun p -> relative_linear_density t f p ~axis) samples in
+        let mean =
+          match values with
+          | [] -> 0.0
+          | _ -> List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+        in
+        (axis, mean))
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) densities

@@ -1,0 +1,37 @@
+(** Relative linear density ρ (§2).
+
+    Given an impact function over a subspace, the relative linear density at
+    fault φ along axis Xk is the average impact of the faults sharing all of
+    φ's attributes except the one on Xk, scaled by the average impact over a
+    reference set. ρ > 1 means walking along Xk from φ encounters more
+    high-impact faults than a random direction — the structure the
+    fitness-guided search exploits. *)
+
+type impact = Point.t -> float
+
+val line_average : Subspace.t -> impact -> Point.t -> axis:int -> float
+(** Average impact over the full line through the point along [axis]
+    (holes excluded). *)
+
+val space_average : Subspace.t -> impact -> float
+(** Average impact over the whole subspace. Enumerates everything — only
+    use on small spaces. *)
+
+val vicinity_average : Subspace.t -> impact -> Point.t -> d:int -> float
+(** Average impact over the D-vicinity of the point (Manhattan ball). *)
+
+val relative_linear_density :
+  Subspace.t -> impact -> Point.t -> axis:int -> float
+(** ρ over the whole space: line average / space average. Returns 0 when
+    the space average is 0. *)
+
+val relative_linear_density_in_vicinity :
+  Subspace.t -> impact -> Point.t -> axis:int -> d:int -> float
+(** ρ computed over the D-vicinity of φ, as recommended in §2: the line is
+    restricted to points of the vicinity that differ from φ only on [axis],
+    and the reference average is the vicinity average. *)
+
+val structured_axes :
+  Subspace.t -> impact -> samples:Point.t list -> (int * float) list
+(** For each axis, the mean ρ over the sample points, sorted by descending
+    density — a diagnostic of where the structure lies. *)

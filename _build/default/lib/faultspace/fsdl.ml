@@ -1,0 +1,52 @@
+let subspace_of_decl decl =
+  let labels =
+    List.filter_map (function Fsdl_ast.Subtype s -> Some s | Fsdl_ast.Parameter _ -> None) decl
+  in
+  let label = match labels with [] -> None | _ -> Some (String.concat "." labels) in
+  let axes =
+    List.filter_map
+      (function
+        | Fsdl_ast.Subtype _ -> None
+        | Fsdl_ast.Parameter (name, dom) ->
+            let kind =
+              match dom with
+              | Fsdl_ast.Set elements -> Axis.Symbols (Array.of_list elements)
+              | Fsdl_ast.Interval (lo, hi) -> Axis.Range { lo; hi }
+              | Fsdl_ast.Subinterval_domain (lo, hi) -> Axis.Subinterval { lo; hi }
+            in
+            Some (Axis.make ~name kind))
+      decl
+  in
+  Subspace.make ?label axes
+
+let space_of_ast ast =
+  match Fsdl_ast.validate ast with
+  | Error m -> invalid_arg ("Fsdl.space_of_ast: " ^ m)
+  | Ok () -> Space.of_subspaces (List.map subspace_of_decl ast)
+
+let space_of_string input =
+  Result.map space_of_ast (Fsdl_parser.parse input)
+
+let decl_of_subspace sub =
+  let labels =
+    match Subspace.label sub with
+    | None -> []
+    | Some l -> List.map (fun s -> Fsdl_ast.Subtype s) (String.split_on_char '.' l)
+  in
+  let params =
+    Array.to_list
+      (Array.map
+         (fun axis ->
+           let dom =
+             match Axis.kind axis with
+             | Axis.Symbols a -> Fsdl_ast.Set (Array.to_list a)
+             | Axis.Range { lo; hi } -> Fsdl_ast.Interval (lo, hi)
+             | Axis.Subinterval { lo; hi } -> Fsdl_ast.Subinterval_domain (lo, hi)
+           in
+           Fsdl_ast.Parameter (Axis.name axis, dom))
+         (Subspace.axes sub))
+  in
+  labels @ params
+
+let ast_of_space space = List.map decl_of_subspace (Space.subspaces space)
+let space_to_string space = Fsdl_printer.to_string (ast_of_space space)

@@ -1,0 +1,16 @@
+(** Bridge between the fault description language and the space model. *)
+
+val space_of_ast : Fsdl_ast.t -> Space.t
+(** Each declaration becomes one subspace; its subtype labels are joined
+    into the subspace label; [Set]/[Interval]/[Subinterval_domain] become
+    [Symbols]/[Range]/[Subinterval] axes.
+    @raise Invalid_argument if the AST does not validate. *)
+
+val space_of_string : string -> (Space.t, string) result
+(** Parse then convert. *)
+
+val ast_of_space : Space.t -> Fsdl_ast.t
+(** Inverse of {!space_of_ast} (hole predicates are not representable in
+    the language and are dropped). *)
+
+val space_to_string : Space.t -> string

@@ -1,0 +1,51 @@
+type domain =
+  | Set of string list
+  | Interval of int * int
+  | Subinterval_domain of int * int
+
+type element = Subtype of string | Parameter of string * domain
+
+type subspace_decl = element list
+type t = subspace_decl list
+
+let equal (a : t) (b : t) = a = b
+
+let validate_decl decl =
+  if decl = [] then Error "empty subspace declaration"
+  else begin
+    let params =
+      List.filter_map
+        (function Parameter (n, d) -> Some (n, d) | Subtype _ -> None)
+        decl
+    in
+    if params = [] then Error "subspace declaration has no parameters"
+    else begin
+      let rec check seen = function
+        | [] -> Ok ()
+        | (name, domain) :: rest ->
+            if List.mem name seen then
+              Error (Printf.sprintf "duplicate parameter %S" name)
+            else begin
+              match domain with
+              | Set [] -> Error (Printf.sprintf "parameter %S: empty set" name)
+              | Set _ -> check (name :: seen) rest
+              | Interval (lo, hi) | Subinterval_domain (lo, hi) ->
+                  if hi < lo then
+                    Error (Printf.sprintf "parameter %S: inverted interval" name)
+                  else check (name :: seen) rest
+            end
+      in
+      check [] params
+    end
+  end
+
+let validate t =
+  if t = [] then Error "empty fault space description"
+  else begin
+    let rec over = function
+      | [] -> Ok ()
+      | decl :: rest -> (
+          match validate_decl decl with Ok () -> over rest | Error _ as e -> e)
+    in
+    over t
+  end

@@ -1,0 +1,23 @@
+(** Abstract syntax of the AFEX fault space description language (Fig. 3).
+
+    A description is a sequence of subspace declarations, each terminated by
+    [";"]. A declaration is a mix of bare subtype labels and parameters.
+    Parameter domains are symbol sets [{a, b}], scalar intervals
+    [\[lo, hi\]], or sub-interval domains [<lo, hi>]. *)
+
+type domain =
+  | Set of string list
+  | Interval of int * int
+  | Subinterval_domain of int * int
+
+type element = Subtype of string | Parameter of string * domain
+
+type subspace_decl = element list
+type t = subspace_decl list
+
+val equal : t -> t -> bool
+
+val validate : t -> (unit, string) result
+(** Structural checks: non-empty declarations, at least one parameter per
+    declaration, non-empty sets, non-inverted intervals, no duplicate
+    parameter names within one declaration. *)

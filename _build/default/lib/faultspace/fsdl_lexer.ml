@@ -1,0 +1,69 @@
+type token =
+  | Ident of string
+  | Number of int
+  | Colon
+  | Comma
+  | Semicolon
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Langle
+  | Rangle
+
+type error = { position : int; message : string }
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_letter c || is_digit c || c = '_'
+
+let tokenize input =
+  let n = String.length input in
+  let rec scan i acc =
+    if i >= n then Ok (List.rev acc)
+    else begin
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1) acc
+      | '#' ->
+          let rec eol j = if j >= n || input.[j] = '\n' then j else eol (j + 1) in
+          scan (eol i) acc
+      | ':' -> scan (i + 1) (Colon :: acc)
+      | ',' -> scan (i + 1) (Comma :: acc)
+      | ';' -> scan (i + 1) (Semicolon :: acc)
+      | '{' -> scan (i + 1) (Lbrace :: acc)
+      | '}' -> scan (i + 1) (Rbrace :: acc)
+      | '[' -> scan (i + 1) (Lbracket :: acc)
+      | ']' -> scan (i + 1) (Rbracket :: acc)
+      | '<' -> scan (i + 1) (Langle :: acc)
+      | '>' -> scan (i + 1) (Rangle :: acc)
+      | '-' ->
+          if i + 1 < n && is_digit input.[i + 1] then number i (i + 1) acc
+          else Error { position = i; message = "dangling '-'" }
+      | c when is_digit c -> number i i acc
+      | c when is_letter c || c = '_' ->
+          let rec scan_end j = if j < n && is_ident_char input.[j] then scan_end (j + 1) else j in
+          let j = scan_end i in
+          scan j (Ident (String.sub input i (j - i)) :: acc)
+      | c -> Error { position = i; message = Printf.sprintf "unexpected character %C" c }
+    end
+  and number start first_digit acc =
+    let rec scan_end j = if j < n && is_digit input.[j] then scan_end (j + 1) else j in
+    let j = scan_end first_digit in
+    match int_of_string_opt (String.sub input start (j - start)) with
+    | Some v -> scan j (Number v :: acc)
+    | None -> Error { position = start; message = "number out of range" }
+  in
+  scan 0 []
+
+let token_to_string = function
+  | Ident s -> s
+  | Number v -> string_of_int v
+  | Colon -> ":"
+  | Comma -> ","
+  | Semicolon -> ";"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Langle -> "<"
+  | Rangle -> ">"

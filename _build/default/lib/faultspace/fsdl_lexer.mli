@@ -1,0 +1,23 @@
+(** Tokenizer for the fault space description language. *)
+
+type token =
+  | Ident of string
+  | Number of int
+  | Colon
+  | Comma
+  | Semicolon
+  | Lbrace
+  | Rbrace
+  | Lbracket
+  | Rbracket
+  | Langle
+  | Rangle
+
+type error = { position : int; message : string }
+
+val tokenize : string -> (token list, error) result
+(** Identifiers follow the grammar (letter, then letters/digits/[_]).
+    Numbers are optionally-negative decimal integers. [#] starts a comment
+    running to end of line. Whitespace separates tokens. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,78 @@
+open Fsdl_lexer
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let describe = function
+  | [] -> "end of input"
+  | tok :: _ -> Printf.sprintf "%S" (token_to_string tok)
+
+(* set_elements ::= (ident | number) ("," (ident | number))* *)
+let rec set_elements acc = function
+  | Ident s :: rest -> set_tail (s :: acc) rest
+  | Number v :: rest -> set_tail (string_of_int v :: acc) rest
+  | toks -> fail "expected set element, found %s" (describe toks)
+
+and set_tail acc = function
+  | Comma :: rest -> set_elements acc rest
+  | Rbrace :: rest -> (List.rev acc, rest)
+  | toks -> fail "expected ',' or '}', found %s" (describe toks)
+
+let number = function
+  | Number v :: rest -> (v, rest)
+  | toks -> fail "expected number, found %s" (describe toks)
+
+let expect tok toks =
+  match toks with
+  | t :: rest when t = tok -> rest
+  | _ -> fail "expected %S, found %s" (token_to_string tok) (describe toks)
+
+(* domain ::= "{" set_elements "}" | "[" n "," n "]" | "<" n "," n ">" *)
+let domain = function
+  | Lbrace :: rest ->
+      let elements, rest = set_elements [] rest in
+      (Fsdl_ast.Set elements, rest)
+  | Lbracket :: rest ->
+      let lo, rest = number rest in
+      let rest = expect Comma rest in
+      let hi, rest = number rest in
+      let rest = expect Rbracket rest in
+      (Fsdl_ast.Interval (lo, hi), rest)
+  | Langle :: rest ->
+      let lo, rest = number rest in
+      let rest = expect Comma rest in
+      let hi, rest = number rest in
+      let rest = expect Rangle rest in
+      (Fsdl_ast.Subinterval_domain (lo, hi), rest)
+  | toks -> fail "expected '{', '[' or '<', found %s" (describe toks)
+
+(* space ::= (subtype | parameter)+ ";" *)
+let rec elements acc = function
+  | Ident name :: Colon :: rest ->
+      let dom, rest = domain rest in
+      elements (Fsdl_ast.Parameter (name, dom) :: acc) rest
+  | Ident name :: rest -> elements (Fsdl_ast.Subtype name :: acc) rest
+  | Semicolon :: rest -> (List.rev acc, rest)
+  | toks -> fail "expected identifier or ';', found %s" (describe toks)
+
+let rec spaces acc = function
+  | [] -> List.rev acc
+  | toks ->
+      let decl, rest = elements [] toks in
+      spaces (decl :: acc) rest
+
+let parse input =
+  match tokenize input with
+  | Error { position; message } ->
+      Error (Printf.sprintf "lexical error at offset %d: %s" position message)
+  | Ok tokens -> (
+      match spaces [] tokens with
+      | exception Parse_error m -> Error (Printf.sprintf "parse error: %s" m)
+      | ast -> (
+          match Fsdl_ast.validate ast with
+          | Ok () -> Ok ast
+          | Error m -> Error (Printf.sprintf "invalid description: %s" m)))
+
+let parse_exn input =
+  match parse input with Ok ast -> ast | Error m -> failwith m

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the fault space description language.
+
+    Beyond the Fig. 3 grammar, set elements may also be integers (the
+    paper's own example in Fig. 4 writes [retval : { 0 }] and
+    [retVal : { -1 }]); they are kept as their literal string form. *)
+
+val parse : string -> (Fsdl_ast.t, string) result
+(** Tokenize, parse, and validate a description. *)
+
+val parse_exn : string -> Fsdl_ast.t
+(** @raise Failure with the parse error. *)

@@ -1,0 +1,16 @@
+let domain_to_string = function
+  | Fsdl_ast.Set elements -> Printf.sprintf "{ %s }" (String.concat ", " elements)
+  | Fsdl_ast.Interval (lo, hi) -> Printf.sprintf "[ %d, %d ]" lo hi
+  | Fsdl_ast.Subinterval_domain (lo, hi) -> Printf.sprintf "< %d, %d >" lo hi
+
+let element_to_string = function
+  | Fsdl_ast.Subtype name -> name
+  | Fsdl_ast.Parameter (name, dom) ->
+      Printf.sprintf "%s : %s" name (domain_to_string dom)
+
+let decl_to_string decl =
+  String.concat "\n" (List.map element_to_string decl) ^ " ;"
+
+let to_string t = String.concat "\n\n" (List.map decl_to_string t) ^ "\n"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

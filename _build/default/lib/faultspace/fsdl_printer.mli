@@ -1,0 +1,6 @@
+(** Pretty-printer for fault space descriptions; round-trips with
+    {!Fsdl_parser.parse}. *)
+
+val domain_to_string : Fsdl_ast.domain -> string
+val to_string : Fsdl_ast.t -> string
+val pp : Format.formatter -> Fsdl_ast.t -> unit

@@ -1,0 +1,40 @@
+type t = (string * Value.t) list
+
+let of_point sub p = Subspace.values sub p
+let to_point sub t = Subspace.point_of_values sub t
+
+let to_string t =
+  String.concat " "
+    (List.concat_map (fun (name, v) -> [ name; Value.to_string v ]) t)
+
+let parse_value token =
+  match int_of_string_opt token with
+  | Some v -> Ok (Value.Int v)
+  | None ->
+      if String.length token >= 2 && token.[0] = '<' && token.[String.length token - 1] = '>'
+      then begin
+        let inner = String.sub token 1 (String.length token - 2) in
+        match String.split_on_char ',' inner with
+        | [ a; b ] -> (
+            match int_of_string_opt (String.trim a), int_of_string_opt (String.trim b) with
+            | Some lo, Some hi -> Ok (Value.Pair (lo, hi))
+            | _ -> Error (Printf.sprintf "malformed sub-interval %S" token))
+        | _ -> Error (Printf.sprintf "malformed sub-interval %S" token)
+      end
+      else Ok (Value.Sym token)
+
+let of_string line =
+  let tokens =
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  in
+  let rec pair acc = function
+    | [] -> Ok (List.rev acc)
+    | [ name ] -> Error (Printf.sprintf "attribute %S has no value" name)
+    | name :: value :: rest -> (
+        match parse_value value with
+        | Ok v -> pair ((name, v) :: acc) rest
+        | Error _ as e -> e)
+  in
+  pair [] tokens
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,17 @@
+(** A concrete fault scenario: the attribute assignment sent from the
+    explorer to a node manager (Fig. 5 format). *)
+
+type t = (string * Value.t) list
+(** Ordered attribute bindings. *)
+
+val of_point : Subspace.t -> Point.t -> t
+val to_point : Subspace.t -> t -> Point.t option
+
+val to_string : t -> string
+(** One-line Fig. 5 format: [name value name value ...]. *)
+
+val of_string : string -> (t, string) result
+(** Parses the Fig. 5 format. Integer-looking tokens become [Int];
+    everything else becomes [Sym]. Sub-intervals use [<lo,hi>]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+module Rng = Afex_stats.Rng
+
+type t = {
+  subspace : Subspace.t;
+  (* Per axis: [None] = identity, [Some perm] maps search index -> target index. *)
+  forward : int array option array;
+  backward : int array option array;
+}
+
+let invert perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) perm;
+  inv
+
+let identity subspace =
+  let n = Subspace.dim subspace in
+  { subspace; forward = Array.make n None; backward = Array.make n None }
+
+let shuffle_axes rng subspace ~axes =
+  let n = Subspace.dim subspace in
+  let forward = Array.make n None and backward = Array.make n None in
+  List.iter
+    (fun axis ->
+      if axis < 0 || axis >= n then invalid_arg "Shuffle.shuffle_axes: axis out of range";
+      let card = Axis.cardinality (Subspace.axis subspace axis) in
+      let perm = Rng.permutation rng card in
+      forward.(axis) <- Some perm;
+      backward.(axis) <- Some (invert perm))
+    axes;
+  { subspace; forward; backward }
+
+let shuffle_axis rng subspace ~axis = shuffle_axes rng subspace ~axes:[ axis ]
+
+let shuffle_all rng subspace =
+  shuffle_axes rng subspace ~axes:(List.init (Subspace.dim subspace) (fun i -> i))
+
+let subspace t = t.subspace
+
+let translate perms p =
+  let a = Point.to_array p in
+  Array.iteri
+    (fun axis perm ->
+      match perm with
+      | None -> ()
+      | Some perm -> a.(axis) <- perm.(a.(axis)))
+    perms;
+  Point.of_array a
+
+let to_target t p = translate t.forward p
+let of_target t p = translate t.backward p
+
+let shuffled_axes t =
+  List.filteri (fun i _ -> t.forward.(i) <> None)
+    (List.init (Array.length t.forward) (fun i -> i))

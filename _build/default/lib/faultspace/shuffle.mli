@@ -1,0 +1,25 @@
+(** Axis randomization for the structure-loss experiment (Table 4).
+
+    Shuffling the values along one axis destroys whatever impact structure
+    that axis carried while leaving the space's shape, cardinality and the
+    uniform-sampling distribution unchanged. The search then runs over the
+    shuffled view; every candidate is translated back to original
+    coordinates before injection. *)
+
+type t
+
+val identity : Subspace.t -> t
+val shuffle_axis : Afex_stats.Rng.t -> Subspace.t -> axis:int -> t
+val shuffle_axes : Afex_stats.Rng.t -> Subspace.t -> axes:int list -> t
+val shuffle_all : Afex_stats.Rng.t -> Subspace.t -> t
+
+val subspace : t -> Subspace.t
+(** The (shape-identical) subspace the search should navigate. *)
+
+val to_target : t -> Point.t -> Point.t
+(** Translate search coordinates to original target coordinates. *)
+
+val of_target : t -> Point.t -> Point.t
+(** Inverse translation. *)
+
+val shuffled_axes : t -> int list

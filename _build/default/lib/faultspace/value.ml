@@ -1,0 +1,35 @@
+type t = Sym of string | Int of int | Pair of int * int
+
+let equal a b =
+  match a, b with
+  | Sym x, Sym y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Pair (x1, x2), Pair (y1, y2) -> x1 = y1 && x2 = y2
+  | (Sym _ | Int _ | Pair _), _ -> false
+
+let compare a b =
+  match a, b with
+  | Sym x, Sym y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Pair (x1, x2), Pair (y1, y2) ->
+      let c = Int.compare x1 y1 in
+      if c <> 0 then c else Int.compare x2 y2
+  | Sym _, (Int _ | Pair _) -> -1
+  | Int _, Sym _ -> 1
+  | Int _, Pair _ -> -1
+  | Pair _, (Sym _ | Int _) -> 1
+
+let to_string = function
+  | Sym s -> s
+  | Int i -> string_of_int i
+  | Pair (lo, hi) -> Printf.sprintf "<%d,%d>" lo hi
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+let as_int = function
+  | Int i -> i
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_sym = function
+  | Sym s -> s
+  | v -> invalid_arg ("Value.as_sym: " ^ to_string v)

@@ -1,0 +1,23 @@
+(** Concrete values of fault attributes.
+
+    A fault attribute value is either a symbolic name (a libc function name,
+    an errno constant), an integer (a call number, a return value), or an
+    integer sub-interval (the [< lo, hi >] syntax of the fault description
+    language, which samples whole sub-intervals rather than single
+    numbers). *)
+
+type t =
+  | Sym of string
+  | Int of int
+  | Pair of int * int  (** inclusive sub-interval [lo, hi] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val as_int : t -> int
+(** @raise Invalid_argument if the value is not [Int]. *)
+
+val as_sym : t -> string
+(** @raise Invalid_argument if the value is not [Sym]. *)

@@ -1,0 +1,1 @@
+lib/injector/engine.ml: Afex_simtarget Afex_stats Array Fault Outcome Printf

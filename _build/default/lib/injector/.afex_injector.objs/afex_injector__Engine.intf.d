@@ -1,0 +1,1 @@
+lib/injector/engine.mli: Afex_simtarget Afex_stats Fault Outcome

@@ -1,0 +1,1 @@
+lib/injector/fault.ml: Afex_faultspace Afex_simtarget Format List Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/injector/fault.mli: Afex_faultspace Format

@@ -1,0 +1,1 @@
+lib/injector/multifault.ml: Afex_faultspace Afex_simtarget Afex_stats Array Engine Fault Format Hashtbl List Option Outcome Printf String

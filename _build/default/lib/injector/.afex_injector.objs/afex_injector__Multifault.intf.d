@@ -1,0 +1,1 @@
+lib/injector/multifault.mli: Afex_faultspace Afex_simtarget Engine Fault Format Outcome

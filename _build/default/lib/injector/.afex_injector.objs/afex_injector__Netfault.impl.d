@@ -1,0 +1,1 @@
+lib/injector/netfault.ml: Afex_faultspace Afex_simtarget Afex_stats Array Fault Float List Outcome Printf Scanf Sensor

@@ -1,0 +1,1 @@
+lib/injector/netfault.mli: Afex_faultspace Afex_simtarget Fault Outcome Sensor

@@ -1,0 +1,1 @@
+lib/injector/outcome.ml: Afex_stats Fault Format

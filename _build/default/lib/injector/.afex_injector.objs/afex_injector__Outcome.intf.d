@@ -1,0 +1,1 @@
+lib/injector/outcome.mli: Afex_stats Fault Format

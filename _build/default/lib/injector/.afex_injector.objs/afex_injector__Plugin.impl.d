@@ -1,0 +1,1 @@
+lib/injector/plugin.ml: Afex_faultspace Fault List Multifault

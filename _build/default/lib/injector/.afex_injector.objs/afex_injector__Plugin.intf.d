@@ -1,0 +1,1 @@
+lib/injector/plugin.mli: Afex_faultspace Fault Multifault

@@ -1,0 +1,1 @@
+lib/injector/sensor.ml: Fault List Outcome

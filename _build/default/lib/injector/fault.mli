@@ -1,0 +1,27 @@
+(** A single concrete library-level fault, in the shape LFI injects:
+    ⟨testID, functionName, callNumber⟩ plus the simulated error (§4,
+    "Injection Point Precision"). *)
+
+type t = {
+  test_id : int;  (** which test of the suite to run *)
+  func : string;  (** libc function whose call fails *)
+  call_number : int;  (** 1-based call cardinality; 0 = no injection *)
+  errno : string;
+  retval : int;
+}
+
+val make :
+  test_id:int -> func:string -> call_number:int -> ?errno:string -> ?retval:int -> unit -> t
+(** [errno]/[retval] default to the function's primary error case from the
+    {!Afex_simtarget.Libc} profile (EIO/-1 for unknown functions). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_scenario : t -> Afex_faultspace.Scenario.t
+(** Fig. 5 wire format used between explorer and node managers. *)
+
+val of_scenario : Afex_faultspace.Scenario.t -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,49 @@
+(** Multi-fault scenarios (§6): several atomic faults armed in one test
+    run, e.g. "inject an EINTR error in the third read call, and an ENOMEM
+    error in the seventh malloc call".
+
+    Multi-fault runs are what exposes latent
+    {!Afex_simtarget.Behavior.Crash_if_recovering} bugs: a first fault
+    pushes the target into recovery, and a second fault striking while
+    recovery is in flight hits the untested path. *)
+
+type arm = { func : string; call_number : int; errno : string; retval : int }
+
+type t = {
+  test_id : int;
+  arms : arm list;  (** atomic faults, all armed for the same run *)
+}
+
+val make : test_id:int -> arms:(string * int) list -> t
+(** Arms from (function, call number) pairs; errno/retval default to each
+    function's primary error case. *)
+
+val to_faults : t -> Fault.t list
+val of_faults : Fault.t list -> (t, string) result
+(** All faults must target the same test. *)
+
+val to_scenario : t -> Afex_faultspace.Scenario.t
+(** Wire format: one [testId] binding, then one
+    [function/errno/retval/callNumber] group per arm. *)
+
+val of_scenario : Afex_faultspace.Scenario.t -> (t, string) result
+
+val run :
+  ?nondet:Engine.nondeterminism -> Afex_simtarget.Target.t -> t -> Outcome.t
+(** Walks the test's trace once with every arm live. Semantics:
+
+    - each arm triggers at the [call_number]-th call to its function;
+    - [Handled] reactions run their recovery and put the target in
+      "recovering" mode for the rest of the run;
+    - [Crash_if_recovering] sites handle the error normally unless the
+      target is already recovering, in which case they crash inside their
+      recovery path;
+    - the first terminal reaction ([Test_fails] / [Crash] / [Hang]) ends
+      the run, exactly as in single-fault execution.
+
+    The outcome's [fault] is the arm that produced the terminal reaction
+    (or the last triggered arm, or the first arm if nothing triggered).
+    @raise Invalid_argument on an out-of-range test id or an empty arm
+    list. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,206 @@
+module Netsim = Afex_simtarget.Netsim
+module Axis = Afex_faultspace.Axis
+module Subspace = Afex_faultspace.Subspace
+module Value = Afex_faultspace.Value
+module Bitset = Afex_stats.Bitset
+
+let space server =
+  Subspace.make ~label:(server.Netsim.name ^ ".drops")
+    [
+      Axis.range "testId" ~lo:0 ~hi:(Array.length server.Netsim.workloads - 1);
+      Axis.range "connection" ~lo:0 ~hi:(Netsim.max_connections server - 1);
+      Axis.range "packet" ~lo:0 ~hi:(Netsim.max_packets server - 1);
+    ]
+
+let drop_of_scenario scenario =
+  let int_field name =
+    match List.assoc_opt name scenario with
+    | Some (Value.Int v) -> Ok v
+    | Some v -> Error (Printf.sprintf "%s: expected integer, got %s" name (Value.to_string v))
+    | None -> Error (Printf.sprintf "missing attribute %s" name)
+  in
+  match int_field "testId", int_field "connection", int_field "packet" with
+  | Ok workload, Ok connection, Ok packet ->
+      Ok { Netsim.workload; connection; packet }
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+
+let fault_of_drop (d : Netsim.drop) =
+  Fault.make ~test_id:d.Netsim.workload ~func:"tcp_drop" ~call_number:d.Netsim.packet
+    ~errno:"EDROP" ~retval:d.Netsim.connection ()
+
+let drop_of_fault (f : Fault.t) =
+  {
+    Netsim.workload = f.Fault.test_id;
+    connection = f.Fault.retval;
+    packet = f.Fault.call_number;
+  }
+
+let total_request_blocks server =
+  Array.fold_left
+    (fun acc w -> acc + Netsim.workload_requests w)
+    0 server.Netsim.workloads
+
+(* Global request-block index of workload w's first request. *)
+let block_offset server workload =
+  let offset = ref 0 in
+  for i = 0 to workload - 1 do
+    offset := !offset + Netsim.workload_requests server.Netsim.workloads.(i)
+  done;
+  !offset
+
+let run_scenario server scenario =
+  match drop_of_scenario scenario with
+  | Error m -> invalid_arg ("Netfault.run_scenario: " ^ m)
+  | Ok drop ->
+      let workload = drop.Netsim.workload in
+      if workload < 0 || workload >= Array.length server.Netsim.workloads then
+        invalid_arg (Printf.sprintf "Netfault.run_scenario: workload %d out of range" workload);
+      let result = Netsim.run server ~drop ~workload () in
+      let coverage = Bitset.create (total_request_blocks server) in
+      let offset = block_offset server workload in
+      (* Completed requests are covered in order of completion; losing the
+         tail of a connection leaves its blocks uncovered. *)
+      for i = 0 to result.Netsim.requests_completed - 1 do
+        Bitset.set coverage (offset + i)
+      done;
+      let lost = result.Netsim.requests_attempted - result.Netsim.requests_completed in
+      let triggered = lost > 0 || result.Netsim.aborted_connection <> None
+                      || result.Netsim.elapsed_ms
+                         > (Netsim.baseline server ~workload).Netsim.elapsed_ms +. 1e-9 in
+      let injection_stack =
+        if triggered then
+          Some
+            [
+              Printf.sprintf "net:connection%02d" drop.Netsim.connection;
+              Printf.sprintf "workload:%s" server.Netsim.workloads.(workload).Netsim.name;
+            ]
+        else None
+      in
+      {
+        Outcome.fault = fault_of_drop drop;
+        status = (if lost > 0 then Outcome.Test_failed else Outcome.Passed);
+        triggered;
+        coverage;
+        injection_stack;
+        crash_stack = None;
+        duration_ms = result.Netsim.elapsed_ms;
+      }
+
+let throughput_loss server fault =
+  let drop = drop_of_fault fault in
+  let workload = drop.Netsim.workload in
+  if workload < 0 || workload >= Array.length server.Netsim.workloads then 0.0
+  else begin
+    let base = (Netsim.baseline server ~workload).Netsim.throughput_rps in
+    let injected = (Netsim.run server ~drop ~workload ()).Netsim.throughput_rps in
+    if base <= 0.0 then 0.0
+    else Float.max 0.0 (100.0 *. (base -. injected) /. base)
+  end
+
+let throughput_loss_sensor server =
+  {
+    Sensor.name = "throughput-loss";
+    score =
+      (fun { Sensor.outcome; new_blocks } ->
+        (* Deterministic re-run keyed by the outcome's fault encoding. *)
+        throughput_loss server outcome.Outcome.fault +. float_of_int new_blocks);
+  }
+
+let burst_space server =
+  Subspace.make ~label:(server.Netsim.name ^ ".bursts")
+    [
+      Axis.range "testId" ~lo:0 ~hi:(Array.length server.Netsim.workloads - 1);
+      Axis.range "connection" ~lo:0 ~hi:(Netsim.max_connections server - 1);
+      Axis.subinterval "window" ~lo:0 ~hi:(Netsim.max_packets server - 1);
+    ]
+
+let burst_of_scenario scenario =
+  let int_field name =
+    match List.assoc_opt name scenario with
+    | Some (Value.Int v) -> Ok v
+    | Some v -> Error (Printf.sprintf "%s: expected integer, got %s" name (Value.to_string v))
+    | None -> Error (Printf.sprintf "missing attribute %s" name)
+  in
+  let window =
+    match List.assoc_opt "window" scenario with
+    | Some (Value.Pair (lo, hi)) -> Ok (lo, hi)
+    | Some v -> Error (Printf.sprintf "window: expected sub-interval, got %s" (Value.to_string v))
+    | None -> Error "missing attribute window"
+  in
+  match int_field "testId", int_field "connection", window with
+  | Ok b_workload, Ok b_connection, Ok window ->
+      Ok { Netsim.b_workload; b_connection; window }
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e
+
+let fault_of_burst (b : Netsim.burst) =
+  let lo, hi = b.Netsim.window in
+  Fault.make ~test_id:b.Netsim.b_workload ~func:"tcp_burst" ~call_number:lo
+    ~errno:(Printf.sprintf "EDROP[%d,%d]" lo hi)
+    ~retval:b.Netsim.b_connection ()
+
+let burst_of_fault (f : Fault.t) =
+  match Scanf.sscanf_opt f.Fault.errno "EDROP[%d,%d]" (fun lo hi -> (lo, hi)) with
+  | Some window ->
+      Ok { Netsim.b_workload = f.Fault.test_id; b_connection = f.Fault.retval; window }
+  | None -> Error (Printf.sprintf "not a burst fault encoding: %s" f.Fault.errno)
+
+let run_burst_scenario server scenario =
+  match burst_of_scenario scenario with
+  | Error m -> invalid_arg ("Netfault.run_burst_scenario: " ^ m)
+  | Ok burst ->
+      let workload = burst.Netsim.b_workload in
+      if workload < 0 || workload >= Array.length server.Netsim.workloads then
+        invalid_arg
+          (Printf.sprintf "Netfault.run_burst_scenario: workload %d out of range" workload);
+      let result = Netsim.run server ~burst ~workload () in
+      let coverage = Bitset.create (total_request_blocks server) in
+      let offset = block_offset server workload in
+      for i = 0 to result.Netsim.requests_completed - 1 do
+        Bitset.set coverage (offset + i)
+      done;
+      let lost = result.Netsim.requests_attempted - result.Netsim.requests_completed in
+      let baseline = Netsim.baseline server ~workload in
+      let triggered =
+        lost > 0
+        || result.Netsim.aborted_connection <> None
+        || result.Netsim.elapsed_ms > baseline.Netsim.elapsed_ms +. 1e-9
+      in
+      let injection_stack =
+        if triggered then
+          Some
+            [
+              Printf.sprintf "net:connection%02d" burst.Netsim.b_connection;
+              Printf.sprintf "workload:%s" server.Netsim.workloads.(workload).Netsim.name;
+            ]
+        else None
+      in
+      {
+        Outcome.fault = fault_of_burst burst;
+        status = (if lost > 0 then Outcome.Test_failed else Outcome.Passed);
+        triggered;
+        coverage;
+        injection_stack;
+        crash_stack = None;
+        duration_ms = result.Netsim.elapsed_ms;
+      }
+
+let burst_throughput_loss server fault =
+  match burst_of_fault fault with
+  | Error _ -> 0.0
+  | Ok burst ->
+      let workload = burst.Netsim.b_workload in
+      if workload < 0 || workload >= Array.length server.Netsim.workloads then 0.0
+      else begin
+        let base = (Netsim.baseline server ~workload).Netsim.throughput_rps in
+        let injected = (Netsim.run server ~burst ~workload ()).Netsim.throughput_rps in
+        if base <= 0.0 then 0.0
+        else Float.max 0.0 (100.0 *. (base -. injected) /. base)
+      end
+
+let burst_loss_sensor server =
+  {
+    Sensor.name = "burst-throughput-loss";
+    score =
+      (fun { Sensor.outcome; new_blocks } ->
+        burst_throughput_loss server outcome.Outcome.fault +. float_of_int new_blocks);
+  }

@@ -1,0 +1,69 @@
+(** Network-level fault injection: a second injector type, demonstrating
+    that the explorer is independent of the injection tool (§3: AFEX is
+    "equally suitable to other kinds of fault injection").
+
+    A fault is a dropped TCP packet, identified by ⟨workload, connection,
+    packet index⟩; the impact of interest is the drop in served requests
+    per second (§2's motivating example). Scenarios use attribute names
+    [testId] (workload), [connection] and [packet]. *)
+
+val space : Afex_simtarget.Netsim.server -> Afex_faultspace.Subspace.t
+(** Axes: [testId] over the workloads, [connection] and [packet] over the
+    server-wide maxima (coordinates beyond a workload's actual shape are
+    benign no-ops — holes, as in §2). *)
+
+val drop_of_scenario :
+  Afex_faultspace.Scenario.t -> (Afex_simtarget.Netsim.drop, string) result
+
+val drop_of_fault : Fault.t -> Afex_simtarget.Netsim.drop
+(** Inverse of the synthesized-fault encoding used in outcomes: [test_id]
+    is the workload, [call_number] the packet index, [retval] the
+    connection, [func] = ["tcp_drop"]. *)
+
+val run_scenario :
+  Afex_simtarget.Netsim.server ->
+  Afex_faultspace.Scenario.t ->
+  Outcome.t
+(** Runs the workload with the packet dropped and adapts the result to the
+    sensor interface: the outcome fails iff requests were lost (a fragile
+    client aborted); [duration_ms] is the slowed-down wall time, so
+    duration-based sensors see retransmission latency too. The coverage
+    bitset marks completed requests (globally indexed) so coverage-driven
+    search still works, and the synthesized fault follows the
+    {!drop_of_fault} encoding.
+    @raise Invalid_argument on a scenario without the three attributes. *)
+
+val total_request_blocks : Afex_simtarget.Netsim.server -> int
+(** Size of the coverage domain: total requests across all workloads. *)
+
+val throughput_loss_sensor : Afex_simtarget.Netsim.server -> Sensor.t
+(** Impact = percentage of the injected workload's baseline throughput
+    lost (0 for a harmless drop) plus 1 point per newly covered request.
+    The loss is recomputed from the outcome's fault encoding — runs are
+    deterministic, so this is exact. *)
+
+val throughput_loss : Afex_simtarget.Netsim.server -> Fault.t -> float
+(** Percentage of baseline throughput lost by one drop. *)
+
+(** {2 Burst drops}
+
+    Loss bursts use the description language's [< lo, hi >] sub-interval
+    domains: one fault is a whole window of consecutive packets lost on one
+    connection, exercising the [Subinterval] axis type end-to-end. *)
+
+val burst_space : Afex_simtarget.Netsim.server -> Afex_faultspace.Subspace.t
+(** Axes: [testId], [connection], and [window : < 0, max_packets-1 >]. *)
+
+val burst_of_scenario :
+  Afex_faultspace.Scenario.t -> (Afex_simtarget.Netsim.burst, string) result
+(** Expects [testId], [connection] and a [window] pair attribute. *)
+
+val burst_of_fault : Fault.t -> (Afex_simtarget.Netsim.burst, string) result
+(** Bursts are encoded in outcome faults as [func = "tcp_burst"],
+    [errno = "EDROP[lo,hi]"], [call_number = lo], [retval = connection]. *)
+
+val run_burst_scenario :
+  Afex_simtarget.Netsim.server -> Afex_faultspace.Scenario.t -> Outcome.t
+
+val burst_throughput_loss : Afex_simtarget.Netsim.server -> Fault.t -> float
+val burst_loss_sensor : Afex_simtarget.Netsim.server -> Sensor.t

@@ -1,0 +1,32 @@
+type status = Passed | Test_failed | Crashed | Hung
+
+type t = {
+  fault : Fault.t;
+  status : status;
+  triggered : bool;
+  coverage : Afex_stats.Bitset.t;
+  injection_stack : string list option;
+  crash_stack : string list option;
+  duration_ms : float;
+}
+
+let failed t =
+  match t.status with
+  | Test_failed | Crashed | Hung -> true
+  | Passed -> false
+
+let crashed t = t.status = Crashed
+let hung t = t.status = Hung
+
+let status_to_string = function
+  | Passed -> "passed"
+  | Test_failed -> "failed"
+  | Crashed -> "crashed"
+  | Hung -> "hung"
+
+let pp ppf t =
+  Format.fprintf ppf "[%s%s] %a (%.1fms, %d blocks)"
+    (status_to_string t.status)
+    (if t.triggered then "" else ", not triggered")
+    Fault.pp t.fault t.duration_ms
+    (Afex_stats.Bitset.count t.coverage)

@@ -1,0 +1,26 @@
+(** Everything the sensors observe about one fault-injection run. *)
+
+type status = Passed | Test_failed | Crashed | Hung
+
+type t = {
+  fault : Fault.t;
+  status : status;
+  triggered : bool;
+      (** whether the fault was actually injected (the test may make fewer
+          than [call_number] calls to the function) *)
+  coverage : Afex_stats.Bitset.t;  (** basic blocks covered by this run *)
+  injection_stack : string list option;
+      (** stack trace captured at the injection point, for redundancy
+          clustering (§5) *)
+  crash_stack : string list option;  (** core-dump stack when [Crashed] *)
+  duration_ms : float;
+}
+
+val failed : t -> bool
+(** The run counts as a failed test: [Test_failed], [Crashed] or [Hung]. *)
+
+val crashed : t -> bool
+val hung : t -> bool
+
+val status_to_string : status -> string
+val pp : Format.formatter -> t -> unit

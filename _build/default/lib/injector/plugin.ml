@@ -1,0 +1,25 @@
+module Subspace = Afex_faultspace.Subspace
+module Value = Afex_faultspace.Value
+
+let fault_of_point sub point =
+  let scenario = Subspace.values sub point in
+  Fault.of_scenario scenario
+
+let fault_of_point_exn sub point =
+  match fault_of_point sub point with
+  | Ok f -> f
+  | Error m -> invalid_arg ("Plugin.fault_of_point: " ^ m)
+
+let multifault_of_point sub point =
+  Multifault.of_scenario (Subspace.values sub point)
+
+let point_of_fault sub (fault : Fault.t) =
+  let bindings =
+    List.filter_map
+      (fun (name, v) ->
+        match Subspace.axis_index sub name with Some _ -> Some (name, v) | None -> None)
+      (Fault.to_scenario fault)
+  in
+  (* All axes must be covered by the fault's attributes. *)
+  if List.length bindings = Subspace.dim sub then Subspace.point_of_values sub bindings
+  else None

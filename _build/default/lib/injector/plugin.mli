@@ -1,0 +1,26 @@
+(** The node-manager plugin layer (§6.1): adapts points of a fault
+    subspace to concrete injector parameters.
+
+    A standard experiment subspace has axes named [testId], [function] and
+    [callNumber], and optionally [errno] and [retval]; missing error
+    attributes default to the function's primary error profile. *)
+
+val fault_of_point :
+  Afex_faultspace.Subspace.t -> Afex_faultspace.Point.t -> (Fault.t, string) result
+
+val fault_of_point_exn :
+  Afex_faultspace.Subspace.t -> Afex_faultspace.Point.t -> Fault.t
+(** @raise Invalid_argument on a malformed subspace/point. *)
+
+val point_of_fault :
+  Afex_faultspace.Subspace.t -> Fault.t -> Afex_faultspace.Point.t option
+(** Inverse mapping, when the fault's attributes lie on the subspace's
+    axes. *)
+
+val multifault_of_point :
+  Afex_faultspace.Subspace.t ->
+  Afex_faultspace.Point.t ->
+  (Multifault.t, string) result
+(** Decode a compound-space point (axes [testId], then [function] /
+    [callNumber] groups, subsequent groups suffixed [function2],
+    [callNumber2], ...) into a multi-fault scenario. *)

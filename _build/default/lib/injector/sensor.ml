@@ -1,0 +1,44 @@
+type observation = { outcome : Outcome.t; new_blocks : int }
+
+type t = { name : string; score : observation -> float }
+
+let standard ?(block_weight = 1.0) ?(fail_weight = 10.0) ?(crash_weight = 20.0)
+    ?(hang_weight = 30.0) () =
+  let score { outcome; new_blocks } =
+    let coverage = block_weight *. float_of_int new_blocks in
+    let impact =
+      match outcome.Outcome.status with
+      | Outcome.Passed -> 0.0
+      | Outcome.Test_failed -> fail_weight
+      | Outcome.Crashed -> fail_weight +. crash_weight
+      | Outcome.Hung -> fail_weight +. hang_weight
+    in
+    coverage +. impact
+  in
+  { name = "standard"; score }
+
+let coverage_only =
+  { name = "coverage"; score = (fun { new_blocks; _ } -> float_of_int new_blocks) }
+
+let failure_only =
+  {
+    name = "failure";
+    score = (fun { outcome; _ } -> if Outcome.failed outcome then 1.0 else 0.0);
+  }
+
+let weighted ~name parts =
+  {
+    name;
+    score =
+      (fun obs ->
+        List.fold_left (fun acc (sensor, w) -> acc +. (w *. sensor.score obs)) 0.0 parts);
+  }
+
+let relevance_weighted sensor ~func_weight =
+  {
+    name = sensor.name ^ "+relevance";
+    score =
+      (fun obs ->
+        let f = obs.outcome.Outcome.fault.Fault.func in
+        sensor.score obs *. func_weight f);
+  }

@@ -1,0 +1,37 @@
+(** Sensors turn run observations into a scalar impact value I_S(φ) (§2).
+
+    The paper's recommended recipe (§6.4, step 3) allocates points per
+    event of interest: newly covered basic blocks, failed tests, crashes,
+    hangs. Sensors are composable so that targets can weigh events
+    differently (e.g. MySQL "factors in crashes, which we consider worth
+    emphasizing", §7). *)
+
+type observation = {
+  outcome : Outcome.t;
+  new_blocks : int;
+      (** blocks this run covered that no earlier run of the session had *)
+}
+
+type t = { name : string; score : observation -> float }
+
+val standard :
+  ?block_weight:float ->
+  ?fail_weight:float ->
+  ?crash_weight:float ->
+  ?hang_weight:float ->
+  unit ->
+  t
+(** Defaults follow §6.4: 1 point per newly covered block, 10 per failed
+    test, 20 per crash, 30 per hang. Crash/hang scores add to the failure
+    score (a crash is also a failed test). *)
+
+val coverage_only : t
+val failure_only : t
+
+val weighted : name:string -> (t * float) list -> t
+(** Linear combination of sensors. *)
+
+val relevance_weighted : t -> func_weight:(string -> float) -> t
+(** Scale a sensor's score by the practical-relevance weight of the faulty
+    function (§5, "Practical Relevance"; used by the §7.5 environment-model
+    experiment). Unknown functions get weight 1. *)

@@ -1,0 +1,1 @@
+lib/quality/clustering.ml: Array Hashtbl Levenshtein List Option String

@@ -1,0 +1,1 @@
+lib/quality/clustering.mli:

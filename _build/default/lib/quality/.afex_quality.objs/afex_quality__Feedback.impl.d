@@ -1,0 +1,1 @@
+lib/quality/feedback.ml: Array Float Hashtbl Levenshtein List String

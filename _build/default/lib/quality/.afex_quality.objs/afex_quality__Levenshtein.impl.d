@@ -1,0 +1,1 @@
+lib/quality/levenshtein.ml: Array Char String

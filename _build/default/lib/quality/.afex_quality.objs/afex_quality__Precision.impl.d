@@ -1,0 +1,1 @@
+lib/quality/precision.ml: Afex_stats Format List Printf

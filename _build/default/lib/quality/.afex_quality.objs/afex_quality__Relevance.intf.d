@@ -1,0 +1,1 @@
+lib/quality/relevance.mli:

@@ -1,0 +1,80 @@
+type 'a cluster = { representative : 'a; members : 'a list }
+
+(* Union-find with path compression. *)
+let find parent i =
+  let rec root i = if parent.(i) = i then i else root parent.(i) in
+  let r = root i in
+  let rec compress i =
+    if parent.(i) <> r then begin
+      let next = parent.(i) in
+      parent.(i) <- r;
+      compress next
+    end
+  in
+  compress i;
+  r
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(max ra rb) <- min ra rb
+
+let cluster ?(threshold = 0.34) ~trace items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let traces = Array.map (fun it -> Array.of_list (trace it)) items in
+  let parent = Array.init n (fun i -> i) in
+  (* Deduplicate exact traces first so the quadratic pass runs over
+     distinct traces only. *)
+  let seen = Hashtbl.create 64 in
+  let distinct = ref [] in
+  Array.iteri
+    (fun i tr ->
+      let k = String.concat "\x00" (Array.to_list tr) in
+      match Hashtbl.find_opt seen k with
+      | Some j -> union parent i j
+      | None ->
+          Hashtbl.add seen k i;
+          distinct := i :: !distinct)
+    traces;
+  let distinct = Array.of_list (List.rev !distinct) in
+  let m = Array.length distinct in
+  for a = 0 to m - 1 do
+    for b = a + 1 to m - 1 do
+      let i = distinct.(a) and j = distinct.(b) in
+      let ti = traces.(i) and tj = traces.(j) in
+      let longest = max (Array.length ti) (Array.length tj) in
+      let close =
+        if longest = 0 then true
+        else begin
+          let d = Levenshtein.distance ti tj in
+          float_of_int d /. float_of_int longest <= threshold
+        end
+      in
+      if close then union parent i j
+    done
+  done;
+  let groups = Hashtbl.create 16 in
+  for i = n - 1 downto 0 do
+    let r = find parent i in
+    let existing = Option.value (Hashtbl.find_opt groups r) ~default:[] in
+    Hashtbl.replace groups r (items.(i) :: existing)
+  done;
+  let clusters =
+    Hashtbl.fold
+      (fun _ members acc ->
+        match members with
+        | [] -> acc
+        | representative :: _ -> { representative; members } :: acc)
+      groups []
+  in
+  List.sort
+    (fun a b -> compare (List.length b.members) (List.length a.members))
+    clusters
+
+let cluster_count ?threshold ~trace items =
+  List.length (cluster ?threshold ~trace items)
+
+let distinct_traces traces =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun tr -> Hashtbl.replace seen (String.concat "\x00" tr) ()) traces;
+  Hashtbl.length seen

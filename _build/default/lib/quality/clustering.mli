@@ -1,0 +1,26 @@
+(** Redundancy clusters (§5): equivalence classes of faults whose injection
+    stack traces are close in edit distance. Two faults below the distance
+    threshold land in the same cluster (single linkage, i.e. transitive
+    closure over the "close" relation, matching the paper's "any two faults
+    for which the distance is below a threshold end up in the same
+    cluster"). *)
+
+type 'a cluster = {
+  representative : 'a;  (** first member encountered *)
+  members : 'a list;  (** insertion order, representative included *)
+}
+
+val cluster :
+  ?threshold:float ->
+  trace:('a -> string list) ->
+  'a list ->
+  'a cluster list
+(** [threshold] is a {e normalized} distance in [0,1] (fraction of the
+    longer trace that may differ); default 0.34. Items with equal traces
+    always share a cluster. Clusters are returned largest first. *)
+
+val cluster_count : ?threshold:float -> trace:('a -> string list) -> 'a list -> int
+
+val distinct_traces : string list list -> int
+(** Number of exactly-distinct traces (the "unique failures" metric of
+    Table 5). *)

@@ -1,0 +1,37 @@
+type t = {
+  exact : (string, unit) Hashtbl.t;
+  mutable traces : string array list;  (** distinct traces, tokenized *)
+}
+
+let create () = { exact = Hashtbl.create 64; traces = [] }
+
+let key trace = String.concat "\x00" trace
+
+let seen t = Hashtbl.length t.exact
+
+let weight t trace =
+  if Hashtbl.mem t.exact (key trace) then 0.0
+  else begin
+    let candidate = Array.of_list trace in
+    let best =
+      List.fold_left
+        (fun acc known -> Float.max acc (Levenshtein.similarity candidate known))
+        0.0 t.traces
+    in
+    1.0 -. best
+  end
+
+let register t trace =
+  let k = key trace in
+  if not (Hashtbl.mem t.exact k) then begin
+    Hashtbl.add t.exact k ();
+    t.traces <- Array.of_list trace :: t.traces
+  end
+
+let weigh_fitness t ~trace fitness =
+  match trace with
+  | None -> fitness
+  | Some trace ->
+      let w = weight t trace in
+      register t trace;
+      fitness *. w

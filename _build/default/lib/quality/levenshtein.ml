@@ -1,0 +1,33 @@
+let generic_distance ~len_a ~len_b ~equal =
+  if len_a = 0 then len_b
+  else if len_b = 0 then len_a
+  else begin
+    (* Two-row dynamic programming. *)
+    let prev = Array.init (len_b + 1) (fun j -> j) in
+    let cur = Array.make (len_b + 1) 0 in
+    for i = 1 to len_a do
+      cur.(0) <- i;
+      for j = 1 to len_b do
+        let cost = if equal (i - 1) (j - 1) then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (len_b + 1)
+    done;
+    prev.(len_b)
+  end
+
+let distance a b =
+  generic_distance ~len_a:(Array.length a) ~len_b:(Array.length b)
+    ~equal:(fun i j -> String.equal a.(i) b.(j))
+
+let distance_strings a b =
+  generic_distance ~len_a:(String.length a) ~len_b:(String.length b)
+    ~equal:(fun i j -> Char.equal a.[i] b.[j])
+
+let similarity a b =
+  let longest = max (Array.length a) (Array.length b) in
+  if longest = 0 then 1.0
+  else 1.0 -. (float_of_int (distance a b) /. float_of_int longest)
+
+let distance_traces a b = distance (Array.of_list a) (Array.of_list b)
+let similarity_traces a b = similarity (Array.of_list a) (Array.of_list b)

@@ -1,0 +1,15 @@
+(** Levenshtein edit distance (§5 cites Levenshtein 1966), used to compare
+    the stack traces captured at injection points. *)
+
+val distance : string array -> string array -> int
+(** Token-level distance: insertions, deletions and substitutions of whole
+    stack frames. *)
+
+val distance_strings : string -> string -> int
+(** Character-level distance. *)
+
+val similarity : string array -> string array -> float
+(** [1 - distance / max length], in [0, 1]; 1 for two empty traces. *)
+
+val distance_traces : string list -> string list -> int
+val similarity_traces : string list -> string list -> float

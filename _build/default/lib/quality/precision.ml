@@ -1,0 +1,21 @@
+module Summary = Afex_stats.Summary
+
+type t = { trials : int; mean_impact : float; variance : float; precision : float }
+
+let measure ~trials run =
+  if trials < 1 then invalid_arg "Precision.measure: trials < 1";
+  let samples = List.init trials (fun _ -> run ()) in
+  let summary = Summary.of_list samples in
+  let variance = Summary.variance summary in
+  {
+    trials;
+    mean_impact = Summary.mean summary;
+    variance;
+    precision = (if variance = 0.0 then infinity else 1.0 /. variance);
+  }
+
+let deterministic t = t.variance = 0.0
+
+let pp ppf t =
+  Format.fprintf ppf "impact %.2f over %d trials, precision %s" t.mean_impact t.trials
+    (if t.precision = infinity then "inf" else Printf.sprintf "%.3f" t.precision)

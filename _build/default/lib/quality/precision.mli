@@ -1,0 +1,21 @@
+(** Impact precision (§5): how consistently a fault reproduces its impact.
+
+    AFEX re-runs a test n times and reports 1/Var of the measured impact.
+    High precision means the failure scenario is deterministic and thus
+    easy to debug; AFEX attaches it to every fault in the result set. *)
+
+type t = {
+  trials : int;
+  mean_impact : float;
+  variance : float;
+  precision : float;  (** 1/variance; [infinity] for perfectly stable *)
+}
+
+val measure : trials:int -> (unit -> float) -> t
+(** Runs the impact measurement [trials] times.
+    @raise Invalid_argument if [trials < 1]. *)
+
+val deterministic : t -> bool
+(** True when the variance is zero. *)
+
+val pp : Format.formatter -> t -> unit

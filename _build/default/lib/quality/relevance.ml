@@ -1,0 +1,25 @@
+type t = { weights : (string, float) Hashtbl.t; default : float }
+
+let uniform = { weights = Hashtbl.create 1; default = 1.0 }
+
+let of_weights ?(default = 0.0) classes =
+  let weights = Hashtbl.create (List.length classes) in
+  List.iter
+    (fun (name, w) ->
+      if w < 0.0 then invalid_arg "Relevance.of_weights: negative weight";
+      Hashtbl.replace weights name w)
+    classes;
+  if default < 0.0 then invalid_arg "Relevance.of_weights: negative default";
+  { weights; default }
+
+let weight t name =
+  match Hashtbl.find_opt t.weights name with Some w -> w | None -> t.default
+
+let normalized t =
+  let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.weights [] in
+  let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 entries in
+  if total <= 0.0 then []
+  else
+    List.sort compare (List.map (fun (k, v) -> (k, v /. total)) entries)
+
+let scale_impact t ~func impact = impact *. weight t func

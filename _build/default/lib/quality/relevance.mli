@@ -1,0 +1,27 @@
+(** Statistical fault-relevance models (§5, "Practical Relevance").
+
+    From published failure studies or knowledge of the deployment
+    environment, the developer assigns each fault class a probability of
+    occurring in practice; AFEX weighs measured impact by that probability
+    so the search prefers faults that both hurt and actually happen. *)
+
+type t
+
+val uniform : t
+(** Every fault class weighs 1. *)
+
+val of_weights : ?default:float -> (string * float) list -> t
+(** [of_weights classes] assigns relative weights keyed by fault class
+    (here: libc function name). [default] (0 if omitted) applies to
+    unlisted classes — a 0 default says "faults outside the model never
+    happen here".
+    @raise Invalid_argument on negative weights. *)
+
+val weight : t -> string -> float
+
+val normalized : t -> (string * float) list
+(** Listed classes with weights rescaled to sum to 1 (empty stays empty). *)
+
+val scale_impact : t -> func:string -> float -> float
+(** [scale_impact t ~func impact] weighs a measured impact (§7.5 uses this
+    to steer the coreutils search toward malloc faults). *)

@@ -1,0 +1,1 @@
+lib/report/export.ml: Afex Afex_faultspace Afex_injector Array Buffer Char List Printf String

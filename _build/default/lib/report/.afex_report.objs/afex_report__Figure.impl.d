@@ -1,0 +1,1 @@
+lib/report/figure.ml: Array Buffer Float List Printf String

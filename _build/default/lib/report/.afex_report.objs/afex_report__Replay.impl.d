@@ -1,0 +1,1 @@
+lib/report/replay.ml: Afex Afex_injector List Printf String

@@ -1,0 +1,1 @@
+lib/report/session_report.ml: Afex Afex_injector Buffer List Printf String

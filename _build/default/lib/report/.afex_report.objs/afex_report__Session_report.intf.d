@@ -1,0 +1,1 @@
+lib/report/session_report.mli: Afex

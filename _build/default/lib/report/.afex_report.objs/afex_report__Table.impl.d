@@ -1,0 +1,1 @@
+lib/report/table.ml: List Printf String

@@ -1,0 +1,19 @@
+(** Machine-readable result export: CSV for the per-test log and JSON for
+    the session summary (AFEX's §6.3 "tables with measurements for each
+    test"). No external dependencies; the JSON writer covers exactly the
+    shapes needed here. *)
+
+val records_to_csv : Afex.Session.result -> string
+(** One row per executed test: iteration, point, fault attributes, status,
+    impact, fitness, new blocks, duration. RFC-4180-style quoting. *)
+
+val summary_to_json : target:string -> Afex.Session.result -> string
+(** Pretty-printed JSON object with the session counters, sensitivity
+    vector and failure curve. *)
+
+val csv_escape : string -> string
+(** Quote a CSV field if it contains commas, quotes or newlines. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion in a JSON literal (without the outer
+    quotes). *)

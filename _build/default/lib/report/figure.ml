@@ -1,0 +1,115 @@
+let impact_matrix ~col_labels ~row_labels ~cell =
+  let cols = List.length col_labels in
+  let row_label_width =
+    List.fold_left (fun acc l -> max acc (String.length l)) 0 row_labels
+  in
+  let buf = Buffer.create 1024 in
+  (* Vertical column labels. *)
+  let label_height =
+    List.fold_left (fun acc l -> max acc (String.length l)) 0 col_labels
+  in
+  let labels = Array.of_list col_labels in
+  for line = 0 to label_height - 1 do
+    Buffer.add_string buf (String.make (row_label_width + 2) ' ');
+    for c = 0 to cols - 1 do
+      let l = labels.(c) in
+      (* Bottom-aligned vertical text. *)
+      let offset = label_height - String.length l in
+      let ch = if line >= offset then l.[line - offset] else ' ' in
+      Buffer.add_char buf ch;
+      Buffer.add_char buf ' '
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  List.iteri
+    (fun r label ->
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.make (row_label_width - String.length label + 2) ' ');
+      for c = 0 to cols - 1 do
+        let ch =
+          match cell ~row:r ~col:c with
+          | Some true -> '#'
+          | Some false -> '.'
+          | None -> ' '
+        in
+        Buffer.add_char buf ch;
+        Buffer.add_char buf ' '
+      done;
+      Buffer.add_char buf '\n')
+    row_labels;
+  Buffer.add_string buf "\n  # = injection causes test failure   . = no failure   (blank = fault not applicable)\n";
+  Buffer.contents buf
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '@'; '%' |]
+
+let line_chart ?(width = 60) ?(height = 16) ?(x_label = "iteration") ?(y_label = "")
+    ~series () =
+  let max_len =
+    List.fold_left (fun acc (_, data) -> max acc (Array.length data)) 0 series
+  in
+  let max_y =
+    List.fold_left
+      (fun acc (_, data) -> Array.fold_left Float.max acc data)
+      1e-9 series
+  in
+  if max_len = 0 then "(no data)\n"
+  else begin
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, data) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        let n = Array.length data in
+        for px = 0 to width - 1 do
+          let idx =
+            if n = 1 then 0
+            else
+              min (n - 1)
+                (int_of_float
+                   (float_of_int px /. float_of_int (width - 1) *. float_of_int (n - 1)))
+          in
+          let v = data.(idx) in
+          let py =
+            height - 1
+            - int_of_float (v /. max_y *. float_of_int (height - 1) +. 0.5)
+          in
+          let py = max 0 (min (height - 1) py) in
+          grid.(py).(px) <- glyph
+        done)
+      series;
+    let buf = Buffer.create 1024 in
+    if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+    for y = 0 to height - 1 do
+      let axis_value =
+        max_y *. float_of_int (height - 1 - y) /. float_of_int (height - 1)
+      in
+      Buffer.add_string buf (Printf.sprintf "%8.1f |" axis_value);
+      Buffer.add_string buf (String.init width (fun x -> grid.(y).(x)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make 10 ' ');
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Printf.sprintf "%s0%s%d (%s)\n" (String.make 10 ' ')
+         (String.make (max 1 (width - 2 - String.length (string_of_int max_len))) ' ')
+         max_len x_label);
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %s\n" glyphs.(si mod Array.length glyphs) name))
+      series;
+    Buffer.contents buf
+  end
+
+let bar_chart ?(width = 50) ~items () =
+  let max_v = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-9 items in
+  let label_width =
+    List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 items
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (label, v) ->
+      let bar_len = int_of_float (v /. max_v *. float_of_int width +. 0.5) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s | %s %.0f\n" label_width label (String.make bar_len '#') v))
+    items;
+  Buffer.contents buf

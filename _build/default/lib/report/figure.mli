@@ -1,0 +1,27 @@
+(** ASCII renderings of the paper's figures. *)
+
+val impact_matrix :
+  col_labels:string list ->
+  row_labels:string list ->
+  cell:(row:int -> col:int -> bool option) ->
+  string
+(** Fig. 1-style fault-space structure plot. Rows are tests, columns are
+    functions; [Some true] renders ['#'] (failure), [Some false] ['.']
+    (no failure), [None] [' '] (fault not applicable — e.g. the function
+    is never called). Column labels are printed vertically. *)
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  series:(string * float array) list ->
+  unit ->
+  string
+(** Fig. 8-style cumulative curves. Series share the x range (index) and
+    y scale; each series draws with its own glyph and appears in the
+    legend. *)
+
+val bar_chart :
+  ?width:int -> items:(string * float) list -> unit -> string
+(** Fig. 9-style horizontal bars, scaled to the maximum value. *)

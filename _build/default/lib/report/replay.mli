@@ -1,0 +1,17 @@
+(** Generated test cases (§6.3): for every fault in the result set AFEX
+    emits a script that re-runs the test with the same injection, so
+    developers can drop it straight into a regression suite. *)
+
+val script :
+  target:string ->
+  Afex.Test_case.t ->
+  string
+(** A self-contained shell script invoking the [afex] CLI to replay the
+    injection and checking the observed status. *)
+
+val suite :
+  target:string ->
+  Afex.Test_case.t list ->
+  string
+(** A runner script replaying several faults (e.g. one redundancy-cluster
+    representative each). *)

@@ -1,0 +1,14 @@
+(** Human-readable session reports (§6.3): result-set summary, top faults,
+    redundancy clusters, and operational statistics. *)
+
+val render :
+  ?top:int ->
+  target:string ->
+  Afex.Session.result ->
+  string
+(** Full text report. [top] (default 10) limits the highest-impact fault
+    listing. *)
+
+val operational_summary : Afex.Session.result -> string
+(** The "operational aspects" block: strategy, iterations, exploration
+    time, space coverage. *)

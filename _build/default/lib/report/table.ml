@@ -1,0 +1,46 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?aligns ~headers ~rows () =
+  let n_cols =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length headers) rows
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell row i)))
+      (String.length (cell headers i))
+      rows
+  in
+  let widths = List.init n_cols width in
+  let aligns =
+    match aligns with
+    | Some a -> List.init n_cols (fun i -> match List.nth_opt a i with Some x -> x | None -> Right)
+    | None -> List.init n_cols (fun i -> if i = 0 then Left else Right)
+  in
+  let render_row row =
+    let cells = List.mapi (fun i w -> pad (List.nth aligns i) w (cell row i)) widths in
+    (* Trim trailing spaces only. *)
+    let line = String.concat "  " cells in
+    let rec rstrip i = if i > 0 && line.[i - 1] = ' ' then rstrip (i - 1) else i in
+    String.sub line 0 (rstrip (String.length line))
+  in
+  let rule =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row headers :: rule :: List.map render_row rows) ^ "\n"
+
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_percent ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (100.0 *. v)
+
+let fmt_ratio num den =
+  if den <= 0.0 then "-" else Printf.sprintf "%.2fx" (num /. den)

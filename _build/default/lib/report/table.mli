@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment reports. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list ->
+  headers:string list ->
+  rows:string list list ->
+  unit ->
+  string
+(** Column-aligned table with a header rule. Missing cells render empty;
+    [aligns] defaults to left for the first column and right for the
+    rest. *)
+
+val fmt_float : ?decimals:int -> float -> string
+val fmt_percent : ?decimals:int -> float -> string
+(** [fmt_percent 0.54] is ["54.0%"] — pass fractions, not percentages. *)
+
+val fmt_ratio : float -> float -> string
+(** ["2.3x"] style ratio of two counts; ["-"] when the denominator is 0. *)

@@ -1,0 +1,1 @@
+lib/simtarget/analyzer.ml: Afex_stats Array Behavior Callsite Float List Sim_test String Target

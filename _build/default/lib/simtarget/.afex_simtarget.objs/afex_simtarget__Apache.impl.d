@@ -1,0 +1,1 @@
+lib/simtarget/apache.ml: Array Behavior Callsite Gen Lazy Libc List Sim_test Spaces Target

@@ -1,0 +1,1 @@
+lib/simtarget/apache.mli: Afex_faultspace Target

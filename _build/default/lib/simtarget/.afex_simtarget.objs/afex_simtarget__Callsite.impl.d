@@ -1,0 +1,1 @@
+lib/simtarget/callsite.ml: Behavior Format

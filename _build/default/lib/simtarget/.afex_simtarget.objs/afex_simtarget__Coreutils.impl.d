@@ -1,0 +1,1 @@
+lib/simtarget/coreutils.ml: Array Behavior Gen Lazy Libc List Printf Sim_test Spaces Target

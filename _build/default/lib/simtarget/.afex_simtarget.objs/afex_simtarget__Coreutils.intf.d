@@ -1,0 +1,1 @@
+lib/simtarget/coreutils.mli: Afex_faultspace Target

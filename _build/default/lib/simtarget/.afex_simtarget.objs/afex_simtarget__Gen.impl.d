@@ -1,0 +1,1 @@
+lib/simtarget/gen.ml: Afex_stats Array Behavior Callsite Float Hashtbl Libc List Option Printf Sim_test Target

@@ -1,0 +1,1 @@
+lib/simtarget/gen.mli: Behavior Callsite Target

@@ -1,0 +1,1 @@
+lib/simtarget/libc.mli:

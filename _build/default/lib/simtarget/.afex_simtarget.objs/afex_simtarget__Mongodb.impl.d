@@ -1,0 +1,1 @@
+lib/simtarget/mongodb.ml: Behavior Gen Lazy Libc List Spaces

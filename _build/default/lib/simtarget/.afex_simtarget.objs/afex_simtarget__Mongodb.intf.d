@@ -1,0 +1,1 @@
+lib/simtarget/mongodb.mli: Afex_faultspace Target

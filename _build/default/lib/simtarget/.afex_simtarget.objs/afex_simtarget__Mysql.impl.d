@@ -1,0 +1,1 @@
+lib/simtarget/mysql.ml: Behavior Callsite Gen Lazy Libc List Spaces Target

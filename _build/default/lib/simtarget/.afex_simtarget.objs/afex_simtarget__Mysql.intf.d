@@ -1,0 +1,1 @@
+lib/simtarget/mysql.mli: Afex_faultspace Target

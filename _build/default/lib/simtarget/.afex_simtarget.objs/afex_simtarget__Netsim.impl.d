@@ -1,0 +1,1 @@
+lib/simtarget/netsim.ml: Afex_stats Array Float Printf

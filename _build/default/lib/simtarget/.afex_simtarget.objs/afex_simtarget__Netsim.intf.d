@@ -1,0 +1,1 @@
+lib/simtarget/netsim.mli:

@@ -1,0 +1,1 @@
+lib/simtarget/sim_test.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/simtarget/sim_test.mli: Format

@@ -1,0 +1,1 @@
+lib/simtarget/spaces.ml: Afex_faultspace List Target

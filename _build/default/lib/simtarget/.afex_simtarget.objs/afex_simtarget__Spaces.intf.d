@@ -1,0 +1,1 @@
+lib/simtarget/spaces.mli: Afex_faultspace Target

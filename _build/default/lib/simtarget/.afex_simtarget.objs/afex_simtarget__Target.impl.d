@@ -1,0 +1,1 @@
+lib/simtarget/target.ml: Array Callsite Format Hashtbl Int Libc List Printf Set Sim_test String

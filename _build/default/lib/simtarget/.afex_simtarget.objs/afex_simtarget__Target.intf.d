@@ -1,0 +1,1 @@
+lib/simtarget/target.mli: Callsite Format Sim_test

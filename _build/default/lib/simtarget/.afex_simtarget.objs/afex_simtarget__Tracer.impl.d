@@ -1,0 +1,1 @@
+lib/simtarget/tracer.ml: Afex_faultspace Libc List Target

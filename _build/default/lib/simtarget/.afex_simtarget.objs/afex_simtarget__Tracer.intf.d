@@ -1,0 +1,1 @@
+lib/simtarget/tracer.mli: Afex_faultspace Target

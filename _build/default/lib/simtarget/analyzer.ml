@@ -1,0 +1,64 @@
+module Rng = Afex_stats.Rng
+
+type finding = { site : int; func : string; location : string; reason : string }
+
+let reason_for (site : Callsite.t) =
+  match site.Callsite.behavior.Behavior.default with
+  | Behavior.Crash { in_recovery = true } -> "cleanup path reuses released state"
+  | Behavior.Crash { in_recovery = false } -> "return value dereferenced without check"
+  | Behavior.Hang -> "retry loop without backoff or timeout"
+  | Behavior.Test_fails -> "error propagated without compensation"
+  | Behavior.Crash_if_recovering -> "reentrant use of recovery buffer"
+  | Behavior.Handled -> "error handling block looks incomplete"
+
+let analyze ?(recall = 0.7) ?(precision = 0.6) ?(seed = 0) target =
+  let rng = Rng.create (seed + 7879) in
+  let sites = Target.callsites target in
+  let fragile, benign =
+    List.partition
+      (fun (s : Callsite.t) ->
+        not (Behavior.is_benign s.Callsite.behavior.Behavior.default))
+      (Array.to_list sites)
+  in
+  let found = List.filter (fun _ -> Rng.bernoulli rng recall) fragile in
+  (* Add false positives so that |found| / (|found| + |fp|) ~= precision. *)
+  let fp_wanted =
+    if precision <= 0.0 || precision >= 1.0 then 0
+    else
+      int_of_float
+        (Float.round (float_of_int (List.length found) *. (1.0 -. precision) /. precision))
+  in
+  let benign = Array.of_list benign in
+  Rng.shuffle rng benign;
+  let false_positives =
+    Array.to_list (Array.sub benign 0 (min fp_wanted (Array.length benign)))
+  in
+  let to_finding (s : Callsite.t) =
+    {
+      site = s.Callsite.id;
+      func = s.Callsite.func;
+      location = s.Callsite.location;
+      reason = reason_for s;
+    }
+  in
+  List.sort
+    (fun a b -> compare a.site b.site)
+    (List.map to_finding (found @ false_positives))
+
+let reaching_injections target finding =
+  let results = ref [] in
+  Array.iter
+    (fun (test : Sim_test.t) ->
+      (* Count calls to the finding's function along the trace; record the
+         call numbers at which the flagged site is the callee. *)
+      let count = ref 0 in
+      Array.iter
+        (fun site_id ->
+          if String.equal (Target.site_func target site_id) finding.func then begin
+            incr count;
+            if site_id = finding.site then
+              results := (test.Sim_test.id, !count) :: !results
+          end)
+        test.Sim_test.trace)
+    (Target.tests target);
+  List.rev !results

@@ -1,0 +1,29 @@
+(** Static-analysis stand-in (§4): LFI's callsite analyzer flags call
+    sites whose error-return handling looks suspicious; AFEX can use those
+    findings to seed the initial test generation, learning the space
+    structure faster.
+
+    Real analyzers are imperfect, so this one is deliberately lossy: it
+    reports each genuinely-fragile callsite only with probability
+    [recall], and pollutes the output with benign sites so that the
+    configured [precision] holds in expectation. The search must therefore
+    still verify — and can still outgrow — the analysis. *)
+
+type finding = {
+  site : int;  (** callsite id *)
+  func : string;
+  location : string;
+  reason : string;  (** human-readable justification *)
+}
+
+val analyze :
+  ?recall:float -> ?precision:float -> ?seed:int -> Target.t -> finding list
+(** Defaults: recall 0.7, precision 0.6, seed 0. Fragile = any callsite
+    whose default reaction is not benign. Findings are returned in
+    callsite order. *)
+
+val reaching_injections :
+  Target.t -> finding -> (int * int) list
+(** [(test id, call number)] pairs under which the finding's callsite is
+    the one that fails — i.e. concrete injection coordinates that exercise
+    the flagged site. *)

@@ -1,0 +1,30 @@
+(** Model of Apache httpd 2.3.8 (§7.1, Tables 2, 4, 5).
+
+    58 tests x 19 functions x call numbers 1-10: |Φ_Apache| = 11 020. The
+    planted bug is the Fig. 7 [strdup] out-of-memory crash: module
+    registration duplicates a symbol name without checking for NULL and
+    dereferences the result ([config.c:579]). The paper found 27
+    manifestations with fitness-guided search and none with random; the
+    site is reachable from a single functional group of tests, so it is
+    rare under uniform sampling but sits inside a discoverable cluster. *)
+
+val target : unit -> Target.t
+val space : unit -> Afex_faultspace.Subspace.t
+
+val strdup_oom_site : unit -> int
+(** Callsite id of the planted Fig. 7 bug. *)
+
+val latent_log_site : unit -> int
+(** Callsite id of the planted {e multi-fault} bug: the log-rotation
+    writer handles a failed [write] gracefully unless the server is
+    already recovering from an earlier fault, in which case it crashes
+    inside its recovery path. No single-fault probe can expose it. *)
+
+val multi_space : unit -> Afex_faultspace.Subspace.t
+(** Compound 2-arm search space (testId x (function x callNumber)^2,
+    call numbers 1-6) for multi-fault exploration. *)
+
+val latent_bug_stack : unit -> string list
+(** Crash stack of the latent bug, for recognising rediscovery. *)
+
+val known_bug_stacks : unit -> (string * string list) list

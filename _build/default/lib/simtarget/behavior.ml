@@ -1,0 +1,30 @@
+type reaction =
+  | Handled
+  | Test_fails
+  | Crash of { in_recovery : bool }
+  | Hang
+  | Crash_if_recovering
+
+type t = { default : reaction; by_errno : (string * reaction) list }
+
+let always reaction = { default = reaction; by_errno = [] }
+let with_errno default by_errno = { default; by_errno }
+
+let reaction_for t ~errno =
+  match List.assoc_opt errno t.by_errno with
+  | Some r -> r
+  | None -> t.default
+
+let is_benign = function
+  | Handled -> true
+  | Test_fails | Crash _ | Hang | Crash_if_recovering -> false
+
+let reaction_to_string = function
+  | Handled -> "handled"
+  | Test_fails -> "test-fails"
+  | Crash { in_recovery = true } -> "crash-in-recovery"
+  | Crash { in_recovery = false } -> "crash"
+  | Hang -> "hang"
+  | Crash_if_recovering -> "crash-if-recovering"
+
+let pp_reaction ppf r = Format.pp_print_string ppf (reaction_to_string r)

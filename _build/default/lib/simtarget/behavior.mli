@@ -1,0 +1,42 @@
+(** What a target does when a library call fails at a given callsite.
+
+    This is the ground truth that fault injection probes. The cases mirror
+    the outcomes the paper observes: graceful handling, test failure
+    (operation aborted), crash — possibly {e inside} recovery code, the
+    MySQL double-unlock pattern of Fig. 6 — and hangs. *)
+
+type reaction =
+  | Handled
+      (** error detected, recovery succeeds, test still passes *)
+  | Test_fails
+      (** error detected, operation aborted cleanly, the running test
+          reports failure *)
+  | Crash of { in_recovery : bool }
+      (** segmentation fault / abort; [in_recovery = true] means the bug is
+          in the error-recovery code itself *)
+  | Hang  (** the target stops making progress *)
+  | Crash_if_recovering
+      (** handled correctly in normal operation, but crashes when the
+          failure strikes while the system is already recovering from an
+          earlier fault — the classic multi-fault recovery bug, only
+          reachable by injecting {e two} faults in one run (§6's
+          "inject an EINTR in the third read AND an ENOMEM in the seventh
+          malloc" scenario class) *)
+
+type t = {
+  default : reaction;
+  by_errno : (string * reaction) list;
+      (** overrides for specific errno codes (e.g. only [ENOMEM] crashes) *)
+}
+
+val always : reaction -> t
+val with_errno : reaction -> (string * reaction) list -> t
+
+val reaction_for : t -> errno:string -> reaction
+
+val is_benign : reaction -> bool
+(** [Handled] only: [Crash_if_recovering] counts as non-benign because the
+    bug is latent even when a single-fault probe passes. *)
+
+val reaction_to_string : reaction -> string
+val pp_reaction : Format.formatter -> reaction -> unit

@@ -1,0 +1,30 @@
+type t = {
+  id : int;
+  module_name : string;
+  func : string;
+  location : string;
+  stack : string list;
+  blocks : int array;
+  recovery_blocks : int array;
+  behavior : Behavior.t;
+}
+
+let make ~id ~module_name ~func ~location ~stack ~blocks ~recovery_blocks ~behavior =
+  { id; module_name; func; location; stack; blocks; recovery_blocks; behavior }
+
+let injection_stack t = ("libc.so:" ^ t.func) :: t.stack
+
+let crash_stack t ~errno =
+  match Behavior.reaction_for t.behavior ~errno with
+  | Behavior.Crash { in_recovery } ->
+      let base = injection_stack t in
+      if in_recovery then Some (("recovery@" ^ t.location) :: base) else Some base
+  | Behavior.Crash_if_recovering ->
+      (* Crashes only under a compound fault load; the latent crash site is
+         the recovery path at this location. *)
+      Some (("recovery@" ^ t.location) :: injection_stack t)
+  | Behavior.Handled | Behavior.Test_fails | Behavior.Hang -> None
+
+let pp ppf t =
+  Format.fprintf ppf "site#%d %s %s@%s [%s]" t.id t.module_name t.func t.location
+    (Behavior.reaction_to_string t.behavior.Behavior.default)

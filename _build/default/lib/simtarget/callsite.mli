@@ -1,0 +1,39 @@
+(** A static call site of the target: one location in the source that calls
+    a library function, together with the stack context under which it is
+    reached, its coverage contribution, and its error-handling behaviour. *)
+
+type t = {
+  id : int;
+  module_name : string;  (** the source module (subsystem) it belongs to *)
+  func : string;  (** the libc function called *)
+  location : string;  (** [file.c:line] *)
+  stack : string list;
+      (** innermost-first frames, excluding the libc frame itself; stable
+          across executions reaching this site the same way *)
+  blocks : int array;  (** basic blocks covered when the call succeeds *)
+  recovery_blocks : int array;
+      (** blocks only covered when the call fails and recovery runs *)
+  behavior : Behavior.t;
+}
+
+val make :
+  id:int ->
+  module_name:string ->
+  func:string ->
+  location:string ->
+  stack:string list ->
+  blocks:int array ->
+  recovery_blocks:int array ->
+  behavior:Behavior.t ->
+  t
+
+val injection_stack : t -> string list
+(** The stack trace captured at the injection point: the libc frame pushed
+    on the site's own stack. This is what redundancy clustering compares. *)
+
+val crash_stack : t -> errno:string -> string list option
+(** The stack of the resulting core dump if injecting [errno] here crashes
+    the target, [None] otherwise. Crashes inside recovery code get an extra
+    recovery frame, so two distinct bugs never share a stack by accident. *)
+
+val pp : Format.formatter -> t -> unit

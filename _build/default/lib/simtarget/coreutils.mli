@@ -1,0 +1,34 @@
+(** Model of the coreutils 8.1 evaluation targets (§7.2, §7.5, Fig. 1).
+
+    The suite has 29 tests spread over three utilities — [ls] (11 tests,
+    the subject of Fig. 1), [ln] (9) and [mv] (9) — and explores the
+    1653-point space [Xtest(29) x Xfunc(19) x Xcall({0,1,2})], where call
+    number 0 means "no injection". Every [ln]/[mv] test allocates through
+    an [xmalloc]-style wrapper that aborts cleanly on [ENOMEM], which is
+    what makes the Table 6 "find every malloc fault that fails ln/mv"
+    search target meaningful. *)
+
+val target : unit -> Target.t
+(** The merged 29-test suite. Test ids 0-10 are [ls], 11-19 [ln],
+    20-28 [mv]. *)
+
+val space : unit -> Afex_faultspace.Subspace.t
+(** The 29 x 19 x 3 space of §7.2 (callNumber 0..2, 0 = no injection). *)
+
+val ls_target : unit -> Target.t
+(** The standalone [ls] model with the full 29-function Fig. 1 axis. *)
+
+val ls_fig1_functions : string list
+(** Horizontal axis of Fig. 1. *)
+
+val ln_mv_test_ids : int list
+(** Test ids of the [ln] and [mv] tests within {!target}. *)
+
+val trimmed_functions : string list
+(** The 9 libc functions [ln] and [mv] actually call — the §7.5
+    "trimmed fault space" domain knowledge. *)
+
+val env_model : (string * float) list
+(** §7.5 statistical environment model: [malloc] 40 %, file operations a
+    combined 50 %, directory operations a combined 10 %. Keys are function
+    names; values are relative fault probabilities. *)

@@ -1,0 +1,119 @@
+type category = Memory | File_io | Directory | Process | Network | Locale | Time | String_conv
+
+type error_case = { retval : int; errno : string }
+
+type t = { name : string; category : category; errors : error_case list }
+
+let category_to_string = function
+  | Memory -> "memory"
+  | File_io -> "file"
+  | Directory -> "directory"
+  | Process -> "process"
+  | Network -> "network"
+  | Locale -> "locale"
+  | Time -> "time"
+  | String_conv -> "string"
+
+let fn name category errors = { name; category; errors }
+let e retval errno = { retval; errno }
+
+(* Canonical order: grouped by category, so that neighbouring functions on
+   the Xfunc axis are semantically related (§2: "group POSIX functions by
+   functionality"). *)
+let catalog =
+  [
+    (* memory *)
+    fn "malloc" Memory [ e 0 "ENOMEM" ];
+    fn "calloc" Memory [ e 0 "ENOMEM" ];
+    fn "realloc" Memory [ e 0 "ENOMEM" ];
+    fn "strdup" Memory [ e 0 "ENOMEM" ];
+    fn "mmap" Memory [ e (-1) "ENOMEM"; e (-1) "EACCES" ];
+    (* file I/O *)
+    fn "open" File_io [ e (-1) "ENOENT"; e (-1) "EACCES"; e (-1) "EMFILE" ];
+    fn "fopen" File_io [ e 0 "ENOENT"; e 0 "EACCES"; e 0 "EMFILE" ];
+    fn "fopen64" File_io [ e 0 "ENOENT"; e 0 "EACCES"; e 0 "EMFILE" ];
+    fn "fclose" File_io [ e (-1) "EIO"; e (-1) "EBADF" ];
+    fn "close" File_io [ e (-1) "EIO"; e (-1) "EBADF"; e (-1) "EINTR" ];
+    fn "read" File_io [ e (-1) "EINTR"; e (-1) "EIO"; e (-1) "EAGAIN" ];
+    fn "write" File_io [ e (-1) "ENOSPC"; e (-1) "EINTR"; e (-1) "EIO" ];
+    fn "fgets" File_io [ e 0 "EINTR"; e 0 "EIO" ];
+    fn "putc" File_io [ e (-1) "EIO" ];
+    fn "__IO_putc" File_io [ e (-1) "EIO" ];
+    fn "fflush" File_io [ e (-1) "EIO"; e (-1) "ENOSPC" ];
+    fn "ferror" File_io [ e 1 "EIO" ];
+    fn "fcntl" File_io [ e (-1) "EACCES"; e (-1) "EINTR" ];
+    fn "stat" File_io [ e (-1) "ENOENT"; e (-1) "EACCES" ];
+    fn "__xstat64" File_io [ e (-1) "ENOENT"; e (-1) "EACCES" ];
+    fn "fsync" File_io [ e (-1) "EIO" ];
+    fn "lseek" File_io [ e (-1) "EINVAL"; e (-1) "EBADF" ];
+    fn "unlink" File_io [ e (-1) "ENOENT"; e (-1) "EACCES" ];
+    fn "rename" File_io [ e (-1) "EXDEV"; e (-1) "EACCES" ];
+    (* directories *)
+    fn "opendir" Directory [ e 0 "ENOENT"; e 0 "EACCES"; e 0 "EMFILE" ];
+    fn "closedir" Directory [ e (-1) "EBADF" ];
+    fn "readdir" Directory [ e 0 "EBADF" ];
+    fn "chdir" Directory [ e (-1) "ENOENT"; e (-1) "EACCES" ];
+    fn "getcwd" Directory [ e 0 "ERANGE"; e 0 "EACCES" ];
+    fn "mkdir" Directory [ e (-1) "EEXIST"; e (-1) "EACCES" ];
+    (* process *)
+    fn "wait" Process [ e (-1) "ECHILD"; e (-1) "EINTR" ];
+    fn "fork" Process [ e (-1) "EAGAIN"; e (-1) "ENOMEM" ];
+    fn "pipe" Process [ e (-1) "EMFILE"; e (-1) "ENFILE" ];
+    fn "getrlimit64" Process [ e (-1) "EINVAL" ];
+    fn "setrlimit64" Process [ e (-1) "EPERM"; e (-1) "EINVAL" ];
+    fn "kill" Process [ e (-1) "ESRCH"; e (-1) "EPERM" ];
+    (* network *)
+    fn "socket" Network [ e (-1) "EMFILE"; e (-1) "EACCES" ];
+    fn "bind" Network [ e (-1) "EADDRINUSE"; e (-1) "EACCES" ];
+    fn "listen" Network [ e (-1) "EADDRINUSE" ];
+    fn "accept" Network [ e (-1) "EINTR"; e (-1) "EMFILE"; e (-1) "ECONNABORTED" ];
+    fn "recv" Network [ e (-1) "EINTR"; e (-1) "ECONNRESET"; e (-1) "EAGAIN" ];
+    fn "send" Network [ e (-1) "EPIPE"; e (-1) "EINTR"; e (-1) "ECONNRESET" ];
+    fn "connect" Network [ e (-1) "ECONNREFUSED"; e (-1) "ETIMEDOUT" ];
+    (* locale / i18n *)
+    fn "setlocale" Locale [ e 0 "ENOENT" ];
+    fn "bindtextdomain" Locale [ e 0 "ENOMEM" ];
+    fn "textdomain" Locale [ e 0 "ENOMEM" ];
+    (* time *)
+    fn "clock_gettime" Time [ e (-1) "EINVAL" ];
+    fn "gettimeofday" Time [ e (-1) "EFAULT" ];
+    (* string/number conversion *)
+    fn "strtol" String_conv [ e 0 "ERANGE"; e 0 "EINVAL" ];
+  ]
+
+let table = Hashtbl.create 64
+
+let () = List.iter (fun f -> Hashtbl.replace table f.name f) catalog
+
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with Some f -> f | None -> raise Not_found
+
+let primary_error t =
+  match t.errors with
+  | first :: _ -> first
+  | [] -> { retval = -1; errno = "EIO" }
+
+let fig1_functions =
+  [
+    "wait"; "malloc"; "calloc"; "realloc"; "fopen64"; "fopen"; "fclose"; "stat";
+    "__xstat64"; "ferror"; "fcntl"; "fgets"; "putc"; "__IO_putc"; "read";
+    "opendir"; "closedir"; "chdir"; "pipe"; "fflush"; "close"; "getrlimit64";
+    "setrlimit64"; "setlocale"; "clock_gettime"; "getcwd"; "bindtextdomain";
+    "textdomain"; "strtol";
+  ]
+
+let standard19 =
+  [
+    "malloc"; "calloc"; "realloc"; "strdup"; "fopen"; "fclose"; "close"; "read";
+    "write"; "fgets"; "fflush"; "stat"; "fcntl"; "opendir"; "closedir"; "chdir";
+    "getcwd"; "setlocale"; "strtol";
+  ]
+
+let ordered_names = List.map (fun f -> f.name) catalog
+
+let errnos_of name =
+  match find name with
+  | None -> []
+  | Some f -> List.map (fun c -> c.errno) f.errors

@@ -1,0 +1,48 @@
+(** Model of the C standard library interface.
+
+    The paper injects error returns into calls made by the target to
+    [libc.so] (§7, "Fault Space Definition Methodology"): LFI's callsite
+    analyzer yields, for each function, its possible error return values and
+    associated errno codes. This module is that profile, plus the canonical
+    axis ordering: functions are grouped by functionality (file, memory,
+    network, ...) as §2 suggests, which is what gives the [Xfunc] axis its
+    exploitable structure. *)
+
+type category = Memory | File_io | Directory | Process | Network | Locale | Time | String_conv
+
+type error_case = { retval : int; errno : string }
+
+type t = {
+  name : string;
+  category : category;
+  errors : error_case list;  (** valid failure simulations, first = primary *)
+}
+
+val category_to_string : category -> string
+
+val find : string -> t option
+(** Look up a function by name in the catalog. *)
+
+val find_exn : string -> t
+(** @raise Not_found *)
+
+val primary_error : t -> error_case
+(** The most representative failure (e.g. malloc -> NULL/ENOMEM). *)
+
+val catalog : t list
+(** All modelled functions, in canonical axis order (grouped by
+    category). *)
+
+val fig1_functions : string list
+(** The 29 functions on the horizontal axis of the paper's Fig. 1 (the
+    [ls] fault space plot), in the paper's order. *)
+
+val standard19 : string list
+(** The 19-function [Xfunc] axis shared by the MySQL, Apache and coreutils
+    fault spaces of §7 (the paper fixes |Xfunc| = 19 for all three). *)
+
+val ordered_names : string list
+(** Names of {!catalog} in canonical order. *)
+
+val errnos_of : string -> string list
+(** All errno codes the named function can fail with ([[]] if unknown). *)

@@ -1,0 +1,17 @@
+(** Models of MongoDB v0.8 (pre-production) and v2.0 (industrial strength)
+    for the development-stage experiment (§7.6, Fig. 9).
+
+    v0.8 is small with its fragility concentrated in two immature modules —
+    a strongly structured fault space where guided search shines (paper:
+    2.37x over random). v2.0 is larger, interacts far more with its
+    environment (longer traces, more failure opportunities — the paper
+    observes {e more} absolute failures) but its residual fragility is
+    scattered thinly across many modules, so the structure is weaker and
+    the guided-search advantage drops (paper: 1.43x). v2.0 also contains
+    one rare crash site; v0.8 none. *)
+
+val target_v08 : unit -> Target.t
+val target_v20 : unit -> Target.t
+
+val space_v08 : unit -> Afex_faultspace.Subspace.t
+val space_v20 : unit -> Afex_faultspace.Subspace.t

@@ -1,0 +1,27 @@
+(** Model of MySQL 5.1.44 (§7.1, Table 1).
+
+    1147 tests, the 19-function [Xfunc] axis, call numbers 1-100:
+    |Φ_MySQL| = 1147 x 19 x 100 = 2 179 300 faults, matching the paper.
+    Two real MySQL bugs are planted:
+
+    - {b double unlock} (MySQL bug #53268, Fig. 6): the [mi_create]
+      recovery path releases [THR_LOCK_myisam] twice when [my_close]
+      fails — a crash {e inside} recovery code. Reached by a handful of
+      MyISAM table-creation tests.
+    - {b errmsg.sys read} (MySQL bug #25097): a failed [read] of
+      [errmsg.sys] is detected and logged, but the server then uses the
+      uninitialized message structure and crashes. Reached early in many
+      tests (server startup). *)
+
+val target : unit -> Target.t
+val space : unit -> Afex_faultspace.Subspace.t
+
+val double_unlock_site : unit -> int
+(** Callsite id of the planted Fig. 6 bug. *)
+
+val errmsg_site : unit -> int
+(** Callsite id of the planted bug #25097. *)
+
+val known_bug_stacks : unit -> (string * string list) list
+(** [(bug name, crash stack)] for both planted bugs, used by the benches to
+    recognise when a search has rediscovered them. *)

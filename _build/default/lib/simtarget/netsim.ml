@@ -1,0 +1,152 @@
+module Rng = Afex_stats.Rng
+
+type connection = {
+  conn_id : int;
+  packets_per_request : int array;
+  retry_limit : int;
+}
+
+type workload = {
+  id : int;
+  name : string;
+  connections : connection array;
+  handler_ms : float;
+}
+
+type server = {
+  name : string;
+  workloads : workload array;
+  per_packet_ms : float;
+  retransmit_ms : float;
+}
+
+type drop = { workload : int; connection : int; packet : int }
+type burst = { b_workload : int; b_connection : int; window : int * int }
+
+type run_result = {
+  requests_attempted : int;
+  requests_completed : int;
+  elapsed_ms : float;
+  throughput_rps : float;
+  aborted_connection : int option;
+}
+
+let total_packets conn = Array.fold_left ( + ) 0 conn.packets_per_request
+let workload_requests w =
+  Array.fold_left (fun acc c -> acc + Array.length c.packets_per_request) 0 w.connections
+
+let run server ?drop ?burst ~workload () =
+  if workload < 0 || workload >= Array.length server.workloads then
+    invalid_arg (Printf.sprintf "Netsim.run: workload %d out of range" workload);
+  let w = server.workloads.(workload) in
+  let attempted = workload_requests w in
+  let completed = ref 0 in
+  let elapsed = ref 0.0 in
+  let aborted = ref None in
+  Array.iter
+    (fun conn ->
+      (* The window of this connection's packet stream that is lost. *)
+      let lost_window =
+        match drop, burst with
+        | Some d, _ when d.workload = workload && d.connection = conn.conn_id ->
+            Some (d.packet, d.packet)
+        | _, Some b when b.b_workload = workload && b.b_connection = conn.conn_id ->
+            Some b.window
+        | _, _ -> None
+      in
+      let stream_pos = ref 0 in
+      let alive = ref true in
+      Array.iter
+        (fun packets ->
+          if !alive then begin
+            let first = !stream_pos in
+            let last = first + packets - 1 in
+            stream_pos := last + 1;
+            elapsed := !elapsed +. (float_of_int packets *. server.per_packet_ms);
+            let lost_here =
+              match lost_window with
+              | Some (lo, hi) -> max 0 (min hi last - max lo first + 1)
+              | None -> 0
+            in
+            if lost_here > 0 then begin
+              if conn.retry_limit >= lost_here then begin
+                (* Retransmit every lost packet; the request completes. *)
+                elapsed :=
+                  !elapsed +. (float_of_int lost_here *. server.retransmit_ms);
+                elapsed := !elapsed +. w.handler_ms;
+                incr completed
+              end
+              else begin
+                (* Retry budget exhausted: the connection resets and every
+                   remaining request of this connection is lost. *)
+                alive := false;
+                aborted := Some conn.conn_id
+              end
+            end
+            else begin
+              elapsed := !elapsed +. w.handler_ms;
+              incr completed
+            end
+          end)
+        conn.packets_per_request)
+    w.connections;
+  let elapsed_ms = Float.max 1e-6 !elapsed in
+  {
+    requests_attempted = attempted;
+    requests_completed = !completed;
+    elapsed_ms;
+    throughput_rps = 1000.0 *. float_of_int !completed /. elapsed_ms;
+    aborted_connection = !aborted;
+  }
+
+let baseline server ~workload = run server ~workload ()
+
+let httpd_like () =
+  let rng = Rng.create 8080 in
+  let connection conn_id ~requests ~packet_range ~fragile =
+    {
+      conn_id;
+      packets_per_request =
+        Array.init requests (fun _ ->
+            let lo, hi = packet_range in
+            Rng.int_in rng lo hi);
+      retry_limit = (if fragile then 0 else 3);
+    }
+  in
+  let workload id name ~conns ~requests ~packet_range ~fragile_every ~handler_ms =
+    {
+      id;
+      name;
+      connections =
+        Array.init conns (fun c ->
+            connection c ~requests ~packet_range ~fragile:(c mod fragile_every = 0));
+      handler_ms;
+    }
+  in
+  {
+    name = "httpd-net";
+    workloads =
+      [|
+        workload 0 "static-files" ~conns:12 ~requests:8 ~packet_range:(1, 3)
+          ~fragile_every:6 ~handler_ms:0.4;
+        workload 1 "dynamic-pages" ~conns:8 ~requests:5 ~packet_range:(2, 6)
+          ~fragile_every:4 ~handler_ms:2.5;
+        workload 2 "keepalive-burst" ~conns:4 ~requests:24 ~packet_range:(1, 2)
+          ~fragile_every:2 ~handler_ms:0.2;
+        workload 3 "mixed" ~conns:10 ~requests:10 ~packet_range:(1, 5)
+          ~fragile_every:5 ~handler_ms:1.0;
+      |];
+    per_packet_ms = 0.15;
+    retransmit_ms = 9.0;
+  }
+
+let max_connections server =
+  Array.fold_left
+    (fun acc w -> max acc (Array.length w.connections))
+    0 server.workloads
+
+let max_packets server =
+  Array.fold_left
+    (fun acc w ->
+      Array.fold_left (fun acc c -> max acc (total_packets c)) acc w.connections)
+    0 server.workloads

@@ -1,0 +1,69 @@
+(** A request/response network server model, for performance-impact fault
+    injection (§2's motivating metric is "the change in number of requests
+    per second served by Apache when random TCP packets are dropped", and
+    §6 proposes "the top-50 worst faults performance-wise" as a search
+    target).
+
+    A workload is a set of client connections, each carrying a sequence of
+    requests made of packets. Dropping a packet forces a retransmission
+    (latency penalty); clients with no retry budget abort their connection
+    instead, losing every remaining request. Everything is deterministic,
+    so a fault's throughput impact is exactly reproducible. *)
+
+type connection = {
+  conn_id : int;
+  packets_per_request : int array;  (** one entry per request *)
+  retry_limit : int;  (** 0 = fragile client: any drop aborts *)
+}
+
+type workload = {
+  id : int;
+  name : string;
+  connections : connection array;
+  handler_ms : float;  (** server-side processing per request *)
+}
+
+type server = {
+  name : string;
+  workloads : workload array;
+  per_packet_ms : float;
+  retransmit_ms : float;  (** penalty per retransmitted packet *)
+}
+
+type drop = { workload : int; connection : int; packet : int }
+(** [packet] is a 0-based index into the connection's packet stream
+    (requests concatenated in order). *)
+
+type burst = { b_workload : int; b_connection : int; window : int * int }
+(** A loss burst: every packet of the inclusive window is dropped — the
+    natural use of the description language's [< lo, hi >] sub-interval
+    domains. *)
+
+type run_result = {
+  requests_attempted : int;
+  requests_completed : int;
+  elapsed_ms : float;
+  throughput_rps : float;  (** completed requests per second *)
+  aborted_connection : int option;
+}
+
+val total_packets : connection -> int
+val workload_requests : workload -> int
+
+val run :
+  server -> ?drop:drop -> ?burst:burst -> workload:int -> unit -> run_result
+(** @raise Invalid_argument on an out-of-range workload id. Out-of-range
+    drop/burst coordinates simply never trigger (holes in the fault
+    space). A burst hitting a request repeatedly retransmits each lost
+    packet; clients exhaust their retry budget faster than under a single
+    drop. *)
+
+val baseline : server -> workload:int -> run_result
+
+val httpd_like : unit -> server
+(** A web-server-shaped instance: several workloads (static files, dynamic
+    pages, keep-alive bursts, mixed) with a deterministic population of
+    connections, a fraction of which are fragile (no retry budget). *)
+
+val max_connections : server -> int
+val max_packets : server -> int

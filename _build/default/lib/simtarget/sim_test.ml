@@ -1,0 +1,35 @@
+type t = {
+  id : int;
+  name : string;
+  group : string;
+  trace : int array;
+  duration_ms : float;
+}
+
+let make ~id ~name ~group ~trace ~duration_ms =
+  { id; name; group; trace; duration_ms }
+
+let calls_to t ~site_func func =
+  Array.fold_left
+    (fun acc site -> if String.equal (site_func site) func then acc + 1 else acc)
+    0 t.trace
+
+let nth_call t ~site_func func ~n =
+  if n <= 0 then None
+  else begin
+    let remaining = ref n and result = ref None and i = ref 0 in
+    let len = Array.length t.trace in
+    while !result = None && !i < len do
+      let site = t.trace.(!i) in
+      if String.equal (site_func site) func then begin
+        decr remaining;
+        if !remaining = 0 then result := Some (!i, site)
+      end;
+      incr i
+    done;
+    !result
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "test#%d %s (%s, %d calls, %.1fms)" t.id t.name t.group
+    (Array.length t.trace) t.duration_ms

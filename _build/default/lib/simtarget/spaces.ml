@@ -1,0 +1,37 @@
+module Axis = Afex_faultspace.Axis
+module Subspace = Afex_faultspace.Subspace
+
+let axis_test = 0
+let axis_func = 1
+let axis_call = 2
+
+let derive_max_call ?max_call ~funcs target =
+  match max_call with
+  | Some m -> m
+  | None ->
+      List.fold_left (fun acc f -> max acc (Target.max_calls target f)) 1 funcs
+
+let multi ?(arms = 2) ?(min_call = 1) ?max_call ~funcs target =
+  if arms < 1 then invalid_arg "Spaces.multi: arms < 1";
+  let max_call = derive_max_call ?max_call ~funcs target in
+  let arm_axes i =
+    let suffix = if i = 0 then "" else string_of_int (i + 1) in
+    [
+      Axis.symbols ("function" ^ suffix) funcs;
+      Axis.range ("callNumber" ^ suffix) ~lo:min_call ~hi:max_call;
+    ]
+  in
+  Subspace.make
+    ~label:(Target.name target ^ ".multi")
+    (Axis.range "testId" ~lo:0 ~hi:(Target.n_tests target - 1)
+    :: List.concat_map arm_axes (List.init arms (fun i -> i)))
+
+let standard ?(min_call = 1) ?max_call ~funcs target =
+  let max_call = derive_max_call ?max_call ~funcs target in
+  Subspace.make
+    ~label:(Target.name target)
+    [
+      Axis.range "testId" ~lo:0 ~hi:(Target.n_tests target - 1);
+      Axis.symbols "function" funcs;
+      Axis.range "callNumber" ~lo:min_call ~hi:max_call;
+    ]

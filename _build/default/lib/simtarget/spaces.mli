@@ -1,0 +1,36 @@
+(** Construction of the canonical 3-axis experiment fault spaces.
+
+    Every experiment in the paper's §7 explores a space spanned by [Xtest]
+    (index into the target's test suite), [Xfunc] (libc function, in
+    category-grouped order) and [Xcall] (which call to fail). *)
+
+val standard :
+  ?min_call:int ->
+  ?max_call:int ->
+  funcs:string list ->
+  Target.t ->
+  Afex_faultspace.Subspace.t
+(** [standard ~funcs target] builds the subspace
+    [testId : \[0, n_tests-1\] x function : funcs x callNumber : \[min_call,
+    max_call\]]. [min_call] defaults to 1; a [min_call] of 0 means "no
+    injection" (used by the coreutils space so that exhaustive search has a
+    baseline row, exactly as in §7's methodology). [max_call] defaults to
+    the largest observed per-test call count over [funcs]. *)
+
+val axis_test : int
+val axis_func : int
+val axis_call : int
+(** Positions of the three axes in {!standard} subspaces. *)
+
+val multi :
+  ?arms:int ->
+  ?min_call:int ->
+  ?max_call:int ->
+  funcs:string list ->
+  Target.t ->
+  Afex_faultspace.Subspace.t
+(** Compound multi-fault space: [testId] followed by [arms] (default 2)
+    groups of [function]/[callNumber] axes, the second and later groups
+    suffixed with their index ([function2], [callNumber2], ...). Its
+    points decode through {!Afex_injector.Plugin.multifault_of_point}
+    into simultaneous injections within one run. *)

@@ -1,0 +1,108 @@
+module IntSet = Set.Make (Int)
+module StringSet = Set.Make (String)
+
+type t = {
+  name : string;
+  version : string;
+  callsites : Callsite.t array;
+  tests : Sim_test.t array;
+  total_blocks : int;
+}
+
+let validate t =
+  Array.iteri
+    (fun i (site : Callsite.t) ->
+      if site.Callsite.id <> i then
+        invalid_arg
+          (Printf.sprintf "Target.make: callsite at position %d has id %d" i
+             site.Callsite.id);
+      let check_block b =
+        if b < 0 || b >= t.total_blocks then
+          invalid_arg
+            (Printf.sprintf "Target.make: block %d out of range at site %d" b i)
+      in
+      Array.iter check_block site.Callsite.blocks;
+      Array.iter check_block site.Callsite.recovery_blocks)
+    t.callsites;
+  Array.iter
+    (fun (test : Sim_test.t) ->
+      Array.iter
+        (fun site ->
+          if site < 0 || site >= Array.length t.callsites then
+            invalid_arg
+              (Printf.sprintf "Target.make: test %d references unknown callsite %d"
+                 test.Sim_test.id site))
+        test.Sim_test.trace)
+    t.tests
+
+let make ~name ~version ~callsites ~tests ~total_blocks =
+  let t = { name; version; callsites; tests; total_blocks } in
+  validate t;
+  t
+
+let name t = t.name
+let version t = t.version
+let callsites t = t.callsites
+let tests t = t.tests
+let total_blocks t = t.total_blocks
+let callsite t i = t.callsites.(i)
+let test t i = t.tests.(i)
+let n_tests t = Array.length t.tests
+let site_func t i = t.callsites.(i).Callsite.func
+
+let functions_used t =
+  let used = Hashtbl.create 32 in
+  Array.iter
+    (fun (test : Sim_test.t) ->
+      Array.iter
+        (fun site -> Hashtbl.replace used (site_func t site) ())
+        test.Sim_test.trace)
+    t.tests;
+  let known = List.filter (fun f -> Hashtbl.mem used f) Libc.ordered_names in
+  let unknown =
+    Hashtbl.fold
+      (fun f () acc -> if List.mem f known then acc else f :: acc)
+      used []
+  in
+  known @ List.sort String.compare unknown
+
+let max_calls t func =
+  Array.fold_left
+    (fun acc test ->
+      max acc (Sim_test.calls_to test ~site_func:(site_func t) func))
+    0 t.tests
+
+let baseline_coverage t =
+  let covered = ref IntSet.empty in
+  Array.iter
+    (fun (test : Sim_test.t) ->
+      Array.iter
+        (fun site ->
+          Array.iter
+            (fun b -> covered := IntSet.add b !covered)
+            t.callsites.(site).Callsite.blocks)
+        test.Sim_test.trace)
+    t.tests;
+  IntSet.cardinal !covered
+
+let recovery_blocks_total t =
+  let blocks = ref IntSet.empty in
+  Array.iter
+    (fun (site : Callsite.t) ->
+      Array.iter (fun b -> blocks := IntSet.add b !blocks) site.Callsite.recovery_blocks)
+    t.callsites;
+  IntSet.cardinal !blocks
+
+let modules t =
+  let set =
+    Array.fold_left
+      (fun acc (site : Callsite.t) -> StringSet.add site.Callsite.module_name acc)
+      StringSet.empty t.callsites
+  in
+  StringSet.elements set
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "%s %s: %d tests, %d callsites, %d modules, %d blocks (%d recovery-only)"
+    t.name t.version (Array.length t.tests) (Array.length t.callsites)
+    (List.length (modules t)) t.total_blocks (recovery_blocks_total t)

@@ -1,0 +1,46 @@
+(** A complete simulated system under test. *)
+
+type t
+
+val make :
+  name:string ->
+  version:string ->
+  callsites:Callsite.t array ->
+  tests:Sim_test.t array ->
+  total_blocks:int ->
+  t
+(** [callsites.(i).id] must equal [i]; every trace entry must be a valid
+    callsite id; every block id must be in [0, total_blocks).
+    @raise Invalid_argument otherwise. *)
+
+val name : t -> string
+val version : t -> string
+val callsites : t -> Callsite.t array
+val tests : t -> Sim_test.t array
+val total_blocks : t -> int
+
+val callsite : t -> int -> Callsite.t
+val test : t -> int -> Sim_test.t
+val n_tests : t -> int
+
+val site_func : t -> int -> string
+(** libc function called at the given callsite. *)
+
+val functions_used : t -> string list
+(** Distinct libc functions appearing in any trace, in {!Libc.catalog}
+    canonical order (unknown functions last, alphabetically). *)
+
+val max_calls : t -> string -> int
+(** Largest per-test call count for the named function across the suite. *)
+
+val baseline_coverage : t -> int
+(** Number of distinct blocks covered by running the whole suite without
+    injection (recovery blocks excluded by construction). *)
+
+val recovery_blocks_total : t -> int
+(** Number of distinct blocks only reachable through error recovery. *)
+
+val modules : t -> string list
+(** Distinct module names. *)
+
+val pp_summary : Format.formatter -> t -> unit

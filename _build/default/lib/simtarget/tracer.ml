@@ -1,0 +1,39 @@
+module Ast = Afex_faultspace.Fsdl_ast
+module Printer = Afex_faultspace.Fsdl_printer
+
+let call_counts target =
+  List.filter_map
+    (fun f ->
+      let n = Target.max_calls target f in
+      if n > 0 then Some (f, n) else None)
+    (Target.functions_used target)
+
+let describe target =
+  List.concat_map
+    (fun (func, max_call) ->
+      match Libc.find func with
+      | None -> []
+      | Some info ->
+          List.map
+            (fun { Libc.retval; errno } ->
+              [
+                Ast.Parameter ("function", Ast.Set [ func ]);
+                Ast.Parameter ("errno", Ast.Set [ errno ]);
+                Ast.Parameter ("retval", Ast.Set [ string_of_int retval ]);
+                Ast.Parameter ("callNumber", Ast.Interval (1, max_call));
+              ])
+            info.Libc.errors)
+    (call_counts target)
+
+let describe_string target = Printer.to_string (describe target)
+
+let standard_description target ~funcs ~max_call =
+  Printer.to_string
+    [
+      [
+        Ast.Subtype (Target.name target);
+        Ast.Parameter ("testId", Ast.Interval (0, Target.n_tests target - 1));
+        Ast.Parameter ("function", Ast.Set funcs);
+        Ast.Parameter ("callNumber", Ast.Interval (1, max_call));
+      ];
+    ]

@@ -1,0 +1,23 @@
+(** ltrace stand-in: derive a fault space description from observed
+    behaviour of a target's test suite (§6.4 step 2: "analyze the target
+    system with a tracer like ltrace").
+
+    Running the suite (without injection) reveals which libc functions the
+    target calls and how many times; combining that with the per-function
+    error profiles of {!Libc} yields a Fig. 4-style description. *)
+
+val call_counts : Target.t -> (string * int) list
+(** Functions used by the suite with the maximum per-test call count, in
+    canonical order. *)
+
+val describe : Target.t -> Afex_faultspace.Fsdl_ast.t
+(** One subspace declaration per (function, errno) error case:
+    [function : { f } errno : { e } retval : { r } callNumber : [1, max]],
+    exactly the shape of the paper's Fig. 4 example. *)
+
+val describe_string : Target.t -> string
+(** {!describe} rendered in the fault description language. *)
+
+val standard_description : Target.t -> funcs:string list -> max_call:int -> string
+(** The 3-axis search space (testId x function x callNumber) rendered in
+    the description language. *)

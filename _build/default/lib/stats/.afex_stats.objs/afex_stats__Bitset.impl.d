@@ -1,0 +1,1 @@
+lib/stats/bitset.ml: Array Bytes Char Printf

@@ -1,0 +1,75 @@
+type weighted = { cumulative : float array; probs : float array }
+
+let of_weights w =
+  let n = Array.length w in
+  if n = 0 then invalid_arg "Dist.of_weights: empty";
+  Array.iter (fun x -> if x < 0.0 || Float.is_nan x then invalid_arg "Dist.of_weights: negative or NaN weight") w;
+  let total = Array.fold_left ( +. ) 0.0 w in
+  let probs =
+    if total <= 0.0 then Array.make n (1.0 /. float_of_int n)
+    else Array.map (fun x -> x /. total) w
+  in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. probs.(i);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative; probs }
+
+let weights d = Array.copy d.probs
+let support d = Array.length d.probs
+
+let sample rng d =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first cumulative value >= u. *)
+  let n = Array.length d.cumulative in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if d.cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let sample_weighted rng w = sample rng (of_weights w)
+let uniform n = of_weights (Array.make n 1.0)
+
+let discrete_gaussian ~center ~sigma ~n =
+  if n <= 0 then invalid_arg "Dist.discrete_gaussian: empty domain";
+  if sigma <= 0.0 then
+    of_weights (Array.init n (fun i -> if i = center then 1.0 else 0.0))
+  else begin
+    let w =
+      Array.init n (fun i ->
+          let d = float_of_int (i - center) /. sigma in
+          exp (-0.5 *. d *. d))
+    in
+    of_weights w
+  end
+
+let sample_gaussian_index rng ~center ~sigma ~n =
+  sample rng (discrete_gaussian ~center ~sigma ~n)
+
+let sample_gaussian_index_excluding rng ~center ~sigma ~n =
+  if n < 2 then invalid_arg "Dist.sample_gaussian_index_excluding: domain too small";
+  let d = discrete_gaussian ~center ~sigma ~n in
+  let rec draw attempts =
+    let i = sample rng d in
+    if i <> center then i
+    else if attempts > 64 then
+      (* Pathologically narrow sigma: fall back to a uniform neighbour. *)
+      let j = Rng.int rng (n - 1) in
+      if j >= center then j + 1 else j
+    else draw (attempts + 1)
+  in
+  draw 0
+
+let inverse w =
+  let positive = Array.to_list w |> List.filter (fun x -> x > 0.0) in
+  let max_inverse =
+    match positive with
+    | [] -> 1.0
+    | _ -> List.fold_left (fun acc x -> Float.max acc (1.0 /. x)) 0.0 positive
+  in
+  Array.map (fun x -> if x > 0.0 then 1.0 /. x else max_inverse *. 2.0) w

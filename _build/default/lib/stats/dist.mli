@@ -1,0 +1,51 @@
+(** Discrete probability distributions used by the AFEX search.
+
+    The paper's Algorithm 1 needs two sampling primitives: fitness- or
+    sensitivity-proportional choice over a finite set (lines 1-6), and a
+    discrete approximation of a Gaussian centred on the current attribute
+    value (lines 8-9). Both are provided here over index domains
+    [0 .. n-1]. *)
+
+type weighted
+(** A normalized discrete distribution over indices [0 .. n-1]. *)
+
+val of_weights : float array -> weighted
+(** [of_weights w] builds a distribution proportional to [w]. Negative
+    weights raise [Invalid_argument]. If every weight is zero the
+    distribution is uniform. *)
+
+val weights : weighted -> float array
+(** Normalized probabilities (sums to 1 up to rounding). *)
+
+val support : weighted -> int
+(** Number of indices. *)
+
+val sample : Rng.t -> weighted -> int
+(** Draw an index with its assigned probability. *)
+
+val sample_weighted : Rng.t -> float array -> int
+(** One-shot [sample rng (of_weights w)]. *)
+
+val uniform : int -> weighted
+(** Uniform distribution over [0 .. n-1]. *)
+
+val discrete_gaussian : center:int -> sigma:float -> n:int -> weighted
+(** [discrete_gaussian ~center ~sigma ~n] is the Gaussian density evaluated
+    at integers [0 .. n-1], centred at [center], truncated to the domain and
+    renormalized. With [sigma <= 0] all mass is on [center]. This is the
+    mutation-magnitude distribution of Algorithm 1, line 9. *)
+
+val sample_gaussian_index :
+  Rng.t -> center:int -> sigma:float -> n:int -> int
+(** Draw from {!discrete_gaussian}. *)
+
+val sample_gaussian_index_excluding :
+  Rng.t -> center:int -> sigma:float -> n:int -> int
+(** Like {!sample_gaussian_index} but never returns [center] (a mutation
+    must change the attribute). Requires [n >= 2]. *)
+
+val inverse : float array -> float array
+(** [inverse w] maps each weight to a weight inversely proportional to it
+    (used for dropping low-fitness tests from the priority queue: the paper
+    drops with probability inversely proportional to fitness). Zero weights
+    receive the largest inverse weight in the result. *)

@@ -1,0 +1,77 @@
+type t = {
+  sorted : float array;
+  mean : float;
+  m2 : float; (* sum of squared deviations from the mean *)
+}
+
+let of_array a =
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length a in
+  if n = 0 then { sorted; mean = 0.0; m2 = 0.0 }
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let m2 =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) *. (x -. mean))) 0.0 a
+    in
+    { sorted; mean; m2 }
+  end
+
+let of_list l = of_array (Array.of_list l)
+
+let count t = Array.length t.sorted
+let mean t = t.mean
+
+let variance t =
+  let n = count t in
+  if n < 2 then 0.0 else t.m2 /. float_of_int (n - 1)
+
+let population_variance t =
+  let n = count t in
+  if n = 0 then 0.0 else t.m2 /. float_of_int n
+
+let stddev t = sqrt (variance t)
+let min_value t = if count t = 0 then 0.0 else t.sorted.(0)
+let max_value t = if count t = 0 then 0.0 else t.sorted.(count t - 1)
+let total t = t.mean *. float_of_int (count t)
+
+let quantile t q =
+  let n = count t in
+  if n = 0 then 0.0
+  else if n = 1 then t.sorted.(0)
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = int_of_float (Float.ceil pos) in
+    if lo = hi then t.sorted.(lo)
+    else begin
+      let frac = pos -. float_of_int lo in
+      (t.sorted.(lo) *. (1.0 -. frac)) +. (t.sorted.(hi) *. frac)
+    end
+  end
+
+let median t = quantile t 0.5
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f" (count t)
+    (mean t) (stddev t) (min_value t) (max_value t)
+
+module Online = struct
+  type acc = { mutable n : int; mutable mean : float; mutable m2 : float; mutable values : float list }
+
+  let create () = { n = 0; mean = 0.0; m2 = 0.0; values = [] }
+
+  let add acc x =
+    acc.n <- acc.n + 1;
+    let delta = x -. acc.mean in
+    acc.mean <- acc.mean +. (delta /. float_of_int acc.n);
+    acc.m2 <- acc.m2 +. (delta *. (x -. acc.mean));
+    acc.values <- x :: acc.values
+
+  let count acc = acc.n
+  let mean acc = if acc.n = 0 then 0.0 else acc.mean
+  let variance acc = if acc.n < 2 then 0.0 else acc.m2 /. float_of_int (acc.n - 1)
+  let stddev acc = sqrt (variance acc)
+  let to_summary acc = of_list (List.rev acc.values)
+end

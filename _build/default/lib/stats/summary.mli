@@ -1,0 +1,44 @@
+(** Descriptive statistics.
+
+    Used for impact-precision (variance over repeated trials, §5 of the
+    paper), experiment reporting, and the cluster simulation. *)
+
+type t
+(** Immutable summary of a sample. *)
+
+val of_list : float list -> t
+val of_array : float array -> t
+
+val count : t -> int
+val mean : t -> float
+(** Mean; 0 for an empty sample. *)
+
+val variance : t -> float
+(** Unbiased sample variance (n-1 denominator); 0 for n < 2. *)
+
+val population_variance : t -> float
+(** Variance with n denominator; 0 for empty. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val total : t -> float
+
+val median : t -> float
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0,1], linear interpolation. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Online accumulation (Welford). *)
+module Online : sig
+  type acc
+
+  val create : unit -> acc
+  val add : acc -> float -> unit
+  val count : acc -> int
+  val mean : acc -> float
+  val variance : acc -> float
+  val stddev : acc -> float
+  val to_summary : acc -> t
+end

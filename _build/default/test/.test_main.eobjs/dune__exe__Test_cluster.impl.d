@@ -1,0 +1,1 @@
+test/test_cluster.ml: Afex Afex_cluster Afex_faultspace Afex_injector Afex_simtarget Alcotest Array Float List Printf Result

@@ -1,0 +1,1 @@
+test/test_core.ml: Afex Afex_faultspace Afex_injector Afex_stats Alcotest Array Hashtbl List Printf

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Afex Afex_faultspace Afex_injector Afex_quality Afex_report Afex_simtarget Afex_stats Alcotest Array Hashtbl Lazy List Option Printf Result String

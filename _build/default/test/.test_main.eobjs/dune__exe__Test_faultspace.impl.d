@@ -1,0 +1,1 @@
+test/test_faultspace.ml: Afex_faultspace Afex_stats Alcotest Gen List Option QCheck2 QCheck_alcotest Result Seq Test

@@ -1,0 +1,1 @@
+test/test_fsdl.ml: Afex_faultspace Alcotest Char List Option Printf QCheck2 QCheck_alcotest Result String Test

@@ -1,0 +1,1 @@
+test/test_injector.ml: Afex_faultspace Afex_injector Afex_simtarget Afex_stats Alcotest List Printf Result Seq String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Afex Afex_cluster Afex_faultspace Afex_injector Afex_simtarget Afex_stats Alcotest Array Lazy List Printf String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Afex Afex_faultspace Afex_injector Afex_report Afex_simtarget Afex_stats Alcotest Format List Result String

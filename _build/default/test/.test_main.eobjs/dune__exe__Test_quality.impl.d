@@ -1,0 +1,1 @@
+test/test_quality.ml: Afex_quality Alcotest Array Float Gen List QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_report.ml: Afex Afex_injector Afex_report Afex_simtarget Alcotest Lazy List String

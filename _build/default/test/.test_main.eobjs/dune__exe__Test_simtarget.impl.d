@@ -1,0 +1,1 @@
+test/test_simtarget.ml: Afex_faultspace Afex_simtarget Alcotest Array Float List Printf String

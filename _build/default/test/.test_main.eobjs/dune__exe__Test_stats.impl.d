@@ -1,0 +1,1 @@
+test/test_stats.ml: Afex_stats Alcotest Array Float Gen Hashtbl List QCheck2 QCheck_alcotest Test

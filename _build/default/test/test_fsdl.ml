@@ -1,0 +1,213 @@
+(* Tests for the fault space description language (Fig. 3 grammar). *)
+
+module Lexer = Afex_faultspace.Fsdl_lexer
+module Parser = Afex_faultspace.Fsdl_parser
+module Printer = Afex_faultspace.Fsdl_printer
+module Ast = Afex_faultspace.Fsdl_ast
+module Fsdl = Afex_faultspace.Fsdl
+module Space = Afex_faultspace.Space
+module Subspace = Afex_faultspace.Subspace
+module Axis = Afex_faultspace.Axis
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* The paper's Fig. 4 example verbatim (modulo whitespace). *)
+let fig4 =
+  "function : { malloc, calloc, realloc }\n\
+   errno : { ENOMEM }\n\
+   retval : { 0 }\n\
+   callNumber : [ 1 , 100 ] ;\n\n\
+   function : { read }\n\
+   errno : { EINTR }\n\
+   retVal : { -1 }\n\
+   callNumber : [ 1 , 50 ] ;"
+
+(* --- Lexer --- *)
+
+let test_lexer_basic () =
+  match Lexer.tokenize "foo : { a, b } [ 1, 20 ] < -3, 4 > ;" with
+  | Error _ -> Alcotest.fail "lex error"
+  | Ok tokens ->
+      checki "token count" 18 (List.length tokens);
+      checks "roundtrip tokens" "foo : { a , b } [ 1 , 20 ] < -3 , 4 > ;"
+        (String.concat " " (List.map Lexer.token_to_string tokens))
+
+let test_lexer_negative_numbers () =
+  match Lexer.tokenize "-12" with
+  | Ok [ Lexer.Number v ] -> checki "negative" (-12) v
+  | Ok _ | Error _ -> Alcotest.fail "expected one number"
+
+let test_lexer_dangling_minus () =
+  checkb "dangling minus rejected" true (Result.is_error (Lexer.tokenize "a - b"))
+
+let test_lexer_bad_char () =
+  match Lexer.tokenize "foo $ bar" with
+  | Error { Lexer.position; _ } -> checki "error position" 4 position
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_lexer_comments_and_whitespace () =
+  match Lexer.tokenize "a # comment with : { } tokens\n b" with
+  | Ok [ Lexer.Ident "a"; Lexer.Ident "b" ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "comment not stripped"
+
+let test_lexer_identifier_chars () =
+  match Lexer.tokenize "__IO_putc x_1" with
+  | Ok [ Lexer.Ident "__IO_putc"; Lexer.Ident "x_1" ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "identifier lexing"
+
+(* --- Parser --- *)
+
+let test_parse_fig4 () =
+  match Parser.parse fig4 with
+  | Error e -> Alcotest.fail e
+  | Ok ast -> (
+      checki "two subspaces" 2 (List.length ast);
+      match ast with
+      | [ first; second ] ->
+          checki "first has 4 params" 4 (List.length first);
+          (match List.hd first with
+          | Ast.Parameter ("function", Ast.Set [ "malloc"; "calloc"; "realloc" ]) -> ()
+          | _ -> Alcotest.fail "first parameter mismatch");
+          (match List.nth second 3 with
+          | Ast.Parameter ("callNumber", Ast.Interval (1, 50)) -> ()
+          | _ -> Alcotest.fail "callNumber mismatch")
+      | _ -> Alcotest.fail "shape")
+
+let test_parse_subtype () =
+  match Parser.parse "disk_faults latency : [ 1, 9 ] ;" with
+  | Ok [ [ Ast.Subtype "disk_faults"; Ast.Parameter ("latency", Ast.Interval (1, 9)) ] ] -> ()
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parse_subinterval () =
+  match Parser.parse "w : < 5, 10 > ;" with
+  | Ok [ [ Ast.Parameter ("w", Ast.Subinterval_domain (5, 10)) ] ] -> ()
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parse_numeric_set_elements () =
+  match Parser.parse "retval : { -1, 0 } ;" with
+  | Ok [ [ Ast.Parameter ("retval", Ast.Set [ "-1"; "0" ]) ] ] -> ()
+  | Ok _ -> Alcotest.fail "wrong shape"
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  List.iter
+    (fun input -> checkb input true (Result.is_error (Parser.parse input)))
+    [
+      "";                          (* empty description *)
+      "x : { } ;";                 (* empty set *)
+      "x : [ 5, 2 ] ;";            (* inverted interval *)
+      "x : [ 1, 2 ]";              (* missing ';' *)
+      "x : { a, } ;";              (* trailing comma *)
+      "x : [ 1 2 ] ;";             (* missing comma *)
+      "justalabel ;";              (* subspace without parameters *)
+      "x : { a } x : { b } ;";     (* duplicate parameter *)
+    ]
+
+let test_parse_exn () =
+  checkb "parse_exn raises" true
+    (try ignore (Parser.parse_exn "x : { } ;"); false with Failure _ -> true)
+
+(* --- Printer round-trip --- *)
+
+let test_print_parse_roundtrip () =
+  match Parser.parse fig4 with
+  | Error e -> Alcotest.fail e
+  | Ok ast -> (
+      let printed = Printer.to_string ast in
+      match Parser.parse printed with
+      | Ok ast' -> checkb "round-trip" true (Ast.equal ast ast')
+      | Error e -> Alcotest.fail ("reparse failed: " ^ e))
+
+(* --- Fsdl bridge --- *)
+
+let test_space_of_fig4 () =
+  match Fsdl.space_of_string fig4 with
+  | Error e -> Alcotest.fail e
+  | Ok space ->
+      (* 3*1*1*100 + 1*1*1*50 *)
+      checki "cardinality" 350 (Space.cardinality space);
+      let subs = Space.subspaces space in
+      checki "two subspaces" 2 (List.length subs);
+      let first = List.hd subs in
+      checki "4 axes" 4 (Subspace.dim first);
+      checks "axis name" "callNumber" (Axis.name (Subspace.axis first 3))
+
+let test_space_roundtrip_through_language () =
+  match Fsdl.space_of_string fig4 with
+  | Error e -> Alcotest.fail e
+  | Ok space -> (
+      let rendered = Fsdl.space_to_string space in
+      match Fsdl.space_of_string rendered with
+      | Ok space' -> checki "same cardinality" (Space.cardinality space) (Space.cardinality space')
+      | Error e -> Alcotest.fail ("re-parse failed: " ^ e))
+
+let test_space_label_preserved () =
+  match Fsdl.space_of_string "io network port : [ 1, 3 ] ;" with
+  | Error e -> Alcotest.fail e
+  | Ok space ->
+      checks "joined label" "io.network"
+        (Option.get (Subspace.label (Space.single space)))
+
+(* --- qcheck: generated ASTs round-trip through print+parse --- *)
+
+let ident_gen =
+  let open QCheck2.Gen in
+  let letter = map Char.chr (int_range (Char.code 'a') (Char.code 'z')) in
+  map (fun l -> String.init (1 + (List.length l mod 8)) (fun i ->
+      List.nth l (i mod List.length l)))
+    (list_size (int_range 1 8) letter)
+
+let domain_gen =
+  let open QCheck2.Gen in
+  oneof
+    [
+      map (fun ids -> Ast.Set ids) (list_size (int_range 1 4) ident_gen);
+      map2 (fun lo len -> Ast.Interval (lo, lo + len)) (int_bound 50) (int_bound 50);
+      map2 (fun lo len -> Ast.Subinterval_domain (lo, lo + len)) (int_bound 20) (int_bound 20);
+    ]
+
+let ast_gen =
+  let open QCheck2.Gen in
+  let param i dom = Ast.Parameter (Printf.sprintf "p%d" i, dom) in
+  let decl_gen =
+    list_size (int_range 1 4) domain_gen
+    >>= fun doms -> return (List.mapi param doms)
+  in
+  list_size (int_range 1 3) decl_gen
+
+let qcheck_tests =
+  let open QCheck2 in
+  [
+    Test.make ~name:"print/parse round-trip" ~count:200 ast_gen (fun ast ->
+        match Parser.parse (Printer.to_string ast) with
+        | Ok ast' -> Ast.equal ast ast'
+        | Error _ -> false);
+    Test.make ~name:"generated ASTs validate" ~count:200 ast_gen (fun ast ->
+        Ast.validate ast = Ok ());
+  ]
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("lexer basic", test_lexer_basic);
+      ("lexer negative numbers", test_lexer_negative_numbers);
+      ("lexer dangling minus", test_lexer_dangling_minus);
+      ("lexer bad char position", test_lexer_bad_char);
+      ("lexer comments", test_lexer_comments_and_whitespace);
+      ("lexer identifier chars", test_lexer_identifier_chars);
+      ("parse Fig. 4 example", test_parse_fig4);
+      ("parse subtype label", test_parse_subtype);
+      ("parse sub-interval", test_parse_subinterval);
+      ("parse numeric set elements", test_parse_numeric_set_elements);
+      ("parse errors", test_parse_errors);
+      ("parse_exn", test_parse_exn);
+      ("print/parse fig4 round-trip", test_print_parse_roundtrip);
+      ("space of fig4", test_space_of_fig4);
+      ("space round-trip via language", test_space_roundtrip_through_language);
+      ("space label preserved", test_space_label_preserved);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

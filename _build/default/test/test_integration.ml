@@ -1,0 +1,254 @@
+(* End-to-end integration tests: the full AFEX pipeline against the
+   simulated evaluation targets, asserting the paper's qualitative
+   claims at reduced budgets (the full-budget runs live in bench/). *)
+
+module Subspace = Afex_faultspace.Subspace
+module Point = Afex_faultspace.Point
+module Shuffle = Afex_faultspace.Shuffle
+module Rng = Afex_stats.Rng
+module Target = Afex_simtarget.Target
+module Coreutils = Afex_simtarget.Coreutils
+module Apache = Afex_simtarget.Apache
+module Mysql = Afex_simtarget.Mysql
+module Mongodb = Afex_simtarget.Mongodb
+module Fault = Afex_injector.Fault
+module Engine = Afex_injector.Engine
+module Outcome = Afex_injector.Outcome
+module Config = Afex.Config
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+module Simulation = Afex_cluster.Simulation
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let apache_executor = lazy (Afex.Executor.of_target (Apache.target ()))
+
+let run_apache config ~iterations =
+  Session.run ~iterations config (Apache.space ()) (Lazy.force apache_executor)
+
+let test_fitness_beats_random_apache () =
+  (* Averaged over seeds: an individual short run can miss the crash
+     clusters entirely (the paper's comparisons use much larger budgets). *)
+  let totals config =
+    List.fold_left
+      (fun (f, c) seed ->
+        let r = run_apache (config ~seed ()) ~iterations:600 in
+        (f + r.Session.failed, c + r.Session.crashed))
+      (0, 0) [ 1; 2; 3 ]
+  in
+  let fg_failed, fg_crashed = totals (fun ~seed () -> Config.fitness_guided ~seed ()) in
+  let rnd_failed, rnd_crashed = totals (fun ~seed () -> Config.random_search ~seed ()) in
+  checkb
+    (Printf.sprintf "failed: fitness %d vs random %d" fg_failed rnd_failed)
+    true
+    (float_of_int fg_failed >= 1.5 *. float_of_int rnd_failed);
+  checkb
+    (Printf.sprintf "crashes: fitness %d vs random %d" fg_crashed rnd_crashed)
+    true (fg_crashed > rnd_crashed)
+
+let test_fitness_beats_random_coreutils () =
+  let executor = Afex.Executor.of_target (Coreutils.target ()) in
+  let sub = Coreutils.space () in
+  let fg = Session.run ~iterations:250 (Config.fitness_guided ~seed:2 ()) sub executor in
+  let rnd = Session.run ~iterations:250 (Config.random_search ~seed:2 ()) sub executor in
+  checkb "fitness finds more failures" true (fg.Session.failed > rnd.Session.failed)
+
+let test_exhaustive_finds_global_truth () =
+  (* Exhaustive over coreutils finds every failing fault; the sampled
+     strategies can only find subsets. *)
+  let executor = Afex.Executor.of_target (Coreutils.target ()) in
+  let sub = Coreutils.space () in
+  let exh =
+    Session.run ~iterations:(Subspace.cardinality sub) (Config.exhaustive ~seed:3 ()) sub executor
+  in
+  let fg = Session.run ~iterations:250 (Config.fitness_guided ~seed:3 ()) sub executor in
+  checkb "exhaustive is the ceiling" true (exh.Session.failed >= fg.Session.failed);
+  checkb "failures exist" true (exh.Session.failed > 50)
+
+let test_structure_loss_hurts_on_average () =
+  (* Averaged over seeds, shuffling every axis must cost the guided search
+     failures compared to the intact space. *)
+  let sub = Apache.space () in
+  let executor = Lazy.force apache_executor in
+  let total_for transform_of seed =
+    let r =
+      Session.run
+        ?transform:(transform_of seed)
+        ~iterations:400
+        (Config.fitness_guided ~seed ())
+        sub executor
+    in
+    r.Session.failed
+  in
+  let seeds = [ 21; 22; 23 ] in
+  let intact = List.fold_left (fun acc s -> acc + total_for (fun _ -> None) s) 0 seeds in
+  let shuffled =
+    List.fold_left
+      (fun acc s ->
+        acc
+        + total_for
+            (fun seed ->
+              let sh = Shuffle.shuffle_all (Rng.create (1000 + seed)) sub in
+              Some (Shuffle.to_target sh))
+            s)
+      0 seeds
+  in
+  checkb
+    (Printf.sprintf "intact %d > shuffled %d" intact shuffled)
+    true (intact > shuffled)
+
+let test_feedback_increases_unique_failures () =
+  let fg = run_apache (Config.fitness_guided ~seed:4 ()) ~iterations:800 in
+  let fgf =
+    run_apache { (Config.fitness_guided ~seed:4 ()) with Config.feedback = true }
+      ~iterations:800
+  in
+  checkb
+    (Printf.sprintf "unique failures %d (feedback) >= %d (plain)"
+       fgf.Session.distinct_failure_traces fg.Session.distinct_failure_traces)
+    true
+    (fgf.Session.distinct_failure_traces >= fg.Session.distinct_failure_traces)
+
+let test_apache_bug_reachable_by_direct_injection () =
+  (* Fig. 7: a strdup OOM in a module-registration test crashes the server
+     with no recovery frame. *)
+  let target = Apache.target () in
+  let fault = Fault.make ~test_id:30 ~func:"strdup" ~call_number:1 () in
+  let outcome = Engine.run target fault in
+  checkb "crashes" true (outcome.Outcome.status = Outcome.Crashed);
+  match Apache.known_bug_stacks () with
+  | [ (_, stack) ] -> checkb "matches the planted stack" true (outcome.Outcome.crash_stack = Some stack)
+  | _ -> Alcotest.fail "expected one known bug"
+
+let test_mysql_bugs_reachable_by_direct_injection () =
+  let target = Mysql.target () in
+  (* errmsg.sys: the first read of any server-level test. *)
+  let errmsg = Engine.run target (Fault.make ~test_id:0 ~func:"read" ~call_number:1 ()) in
+  checkb "errmsg crash" true (errmsg.Outcome.status = Outcome.Crashed);
+  (* double unlock: the first close of a MyISAM DDL test, with a recovery
+     frame on top of the stack (the bug is in recovery code). *)
+  let unlock = Engine.run target (Fault.make ~test_id:410 ~func:"close" ~call_number:1 ()) in
+  checkb "double-unlock crash" true (unlock.Outcome.status = Outcome.Crashed);
+  (match unlock.Outcome.crash_stack with
+  | Some (top :: _) ->
+      checkb "crashes inside recovery" true
+        (String.length top > 9 && String.sub top 0 9 = "recovery@")
+  | Some [] | None -> Alcotest.fail "expected crash stack")
+
+let test_table6_ground_truth_positive () =
+  let target = Coreutils.target () in
+  let failing = ref 0 in
+  List.iter
+    (fun test_id ->
+      List.iter
+        (fun call_number ->
+          let fault = Fault.make ~test_id ~func:"malloc" ~call_number () in
+          if Outcome.failed (Engine.run target fault) then incr failing)
+        [ 1; 2 ])
+    Coreutils.ln_mv_test_ids;
+  checkb
+    (Printf.sprintf "ground truth near the paper's 28 (got %d)" !failing)
+    true
+    (!failing >= 20 && !failing <= 36)
+
+let test_mongodb_advantage_shrinks_with_maturity () =
+  let run target sub seed fitness =
+    let executor = Afex.Executor.of_target target in
+    let config = if fitness then Config.fitness_guided ~seed () else Config.random_search ~seed () in
+    (Session.run ~iterations:250 config sub executor).Session.failed
+  in
+  let ratio target sub =
+    let fg = run target sub 5 true and rnd = run target sub 5 false in
+    float_of_int fg /. float_of_int (max 1 rnd)
+  in
+  let r08 = ratio (Mongodb.target_v08 ()) (Mongodb.space_v08 ()) in
+  let r20 = ratio (Mongodb.target_v20 ()) (Mongodb.space_v20 ()) in
+  checkb
+    (Printf.sprintf "advantage shrinks: v0.8 %.2fx > v2.0 %.2fx" r08 r20)
+    true (r08 > r20);
+  checkb "still some advantage in v2.0" true (r20 > 1.0)
+
+let test_cluster_session_agrees_with_sequential () =
+  (* A 1-node cluster simulation and a sequential session with the same
+     configuration execute the same number of tests and find failures of
+     the same order. *)
+  let sub = Apache.space () in
+  let executor = Lazy.force apache_executor in
+  let seq = Session.run ~iterations:300 (Config.fitness_guided ~seed:6 ()) sub executor in
+  let sim =
+    Simulation.run
+      { Simulation.default_config with Simulation.nodes = 1; iterations = 300 }
+      (Config.fitness_guided ~seed:6 ())
+      sub executor
+  in
+  checki "same test count" seq.Session.iterations sim.Simulation.tests_executed;
+  checkb "similar failure count" true
+    (abs (seq.Session.failed - sim.Simulation.failed) * 10 < 300 * 3)
+
+let test_sensitivity_tracks_planted_structure () =
+  (* Sensitivity measures the benefit of mutating an axis. If failures
+     live in a narrow band of one axis, mutating THAT axis usually exits
+     the band (low benefit), while mutating the others keeps failing (high
+     benefit). Swapping which axis carries the band must swap the
+     sensitivity ordering. *)
+  let sub =
+    Subspace.make
+      [
+        Afex_faultspace.Axis.range "testId" ~lo:0 ~hi:49;
+        Afex_faultspace.Axis.symbols "function" [ "read"; "close" ];
+        Afex_faultspace.Axis.range "callNumber" ~lo:1 ~hi:50;
+      ]
+  in
+  let total_blocks = 4 in
+  let executor_with failing =
+    Afex.Executor.of_fn ~total_blocks ~description:"banded" (fun fault ->
+        {
+          Outcome.fault;
+          status = (if failing fault then Outcome.Test_failed else Outcome.Passed);
+          triggered = true;
+          coverage = Afex_stats.Bitset.create total_blocks;
+          injection_stack = Some [ "libc.so:" ^ fault.Fault.func ];
+          crash_stack = None;
+          duration_ms = 1.0;
+        })
+  in
+  let sens_of failing =
+    let r =
+      Session.run ~iterations:400
+        (Config.fitness_guided ~seed:7 ())
+        sub
+        (executor_with failing)
+    in
+    r.Session.sensitivity
+  in
+  let call_banded =
+    sens_of (fun f -> f.Fault.call_number >= 10 && f.Fault.call_number <= 15)
+  in
+  let test_banded = sens_of (fun f -> f.Fault.test_id >= 10 && f.Fault.test_id <= 15) in
+  checkb
+    (Printf.sprintf "call band: test axis beats call axis (%.2f vs %.2f)"
+       call_banded.(0) call_banded.(2))
+    true
+    (call_banded.(0) > call_banded.(2));
+  checkb
+    (Printf.sprintf "test band: call axis beats test axis (%.2f vs %.2f)"
+       test_banded.(2) test_banded.(0))
+    true
+    (test_banded.(2) > test_banded.(0))
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("fitness beats random (Apache)", test_fitness_beats_random_apache);
+      ("fitness beats random (coreutils)", test_fitness_beats_random_coreutils);
+      ("exhaustive is the ceiling", test_exhaustive_finds_global_truth);
+      ("structure loss hurts (avg over seeds)", test_structure_loss_hurts_on_average);
+      ("feedback increases unique failures", test_feedback_increases_unique_failures);
+      ("Apache Fig.7 bug reachable", test_apache_bug_reachable_by_direct_injection);
+      ("MySQL planted bugs reachable", test_mysql_bugs_reachable_by_direct_injection);
+      ("Table 6 ground truth positive", test_table6_ground_truth_positive);
+      ("MongoDB advantage shrinks", test_mongodb_advantage_shrinks_with_maturity);
+      ("cluster sim agrees with sequential", test_cluster_session_agrees_with_sequential);
+      ("sensitivity tracks planted structure", test_sensitivity_tracks_planted_structure);
+    ]

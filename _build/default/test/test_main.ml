@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "afex"
+    [
+      ("stats", Test_stats.suite);
+      ("faultspace", Test_faultspace.suite);
+      ("fsdl", Test_fsdl.suite);
+      ("simtarget", Test_simtarget.suite);
+      ("injector", Test_injector.suite);
+      ("quality", Test_quality.suite);
+      ("core", Test_core.suite);
+      ("cluster", Test_cluster.suite);
+      ("report", Test_report.suite);
+      ("extensions", Test_extensions.suite);
+      ("misc", Test_misc.suite);
+      ("integration", Test_integration.suite);
+    ]

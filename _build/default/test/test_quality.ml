@@ -1,0 +1,234 @@
+(* Tests for afex_quality: Levenshtein, clustering, precision, relevance,
+   redundancy feedback. *)
+
+module Lev = Afex_quality.Levenshtein
+module Clustering = Afex_quality.Clustering
+module Precision = Afex_quality.Precision
+module Relevance = Afex_quality.Relevance
+module Feedback = Afex_quality.Feedback
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Levenshtein --- *)
+
+let test_lev_known_values () =
+  checki "kitten/sitting" 3 (Lev.distance_strings "kitten" "sitting");
+  checki "empty/abc" 3 (Lev.distance_strings "" "abc");
+  checki "identical" 0 (Lev.distance_strings "stack" "stack")
+
+let test_lev_frames () =
+  let a = [| "libc.so:read"; "f (m.c:1)"; "main" |] in
+  let b = [| "libc.so:close"; "f (m.c:1)"; "main" |] in
+  checki "one substitution" 1 (Lev.distance a b);
+  checki "insertion" 1 (Lev.distance a (Array.append [| "extra" |] a))
+
+let test_lev_similarity_bounds () =
+  let a = [| "x"; "y" |] and b = [| "p"; "q"; "r" |] in
+  let s = Lev.similarity a b in
+  checkb "in [0,1]" true (s >= 0.0 && s <= 1.0);
+  checkf "identical similarity" 1.0 (Lev.similarity a a);
+  checkf "empty traces similar" 1.0 (Lev.similarity [||] [||]);
+  checkf "disjoint same-length" 0.0 (Lev.similarity [| "a"; "b" |] [| "c"; "d" |])
+
+let test_lev_trace_helpers () =
+  checki "list version" 1 (Lev.distance_traces [ "a"; "b" ] [ "a"; "c" ]);
+  checkf "list similarity" 0.5 (Lev.similarity_traces [ "a"; "b" ] [ "a"; "c" ])
+
+(* --- Clustering --- *)
+
+let trace_id (t : string list) = t
+
+let test_cluster_identical_merge () =
+  let items = [ [ "a"; "b"; "c" ]; [ "a"; "b"; "c" ]; [ "x"; "y"; "z" ] ] in
+  let clusters = Clustering.cluster ~trace:trace_id items in
+  checki "two clusters" 2 (List.length clusters);
+  let largest = List.hd clusters in
+  checki "dupes merged" 2 (List.length largest.Clustering.members)
+
+let test_cluster_near_traces_merge () =
+  (* 1 differing frame of 4 = 0.25 <= threshold 0.34 *)
+  let items = [ [ "a"; "b"; "c"; "d" ]; [ "a"; "b"; "c"; "e" ] ] in
+  checki "near traces share cluster" 1 (Clustering.cluster_count ~trace:trace_id items)
+
+let test_cluster_far_traces_split () =
+  let items = [ [ "a"; "b"; "c"; "d" ]; [ "a"; "x"; "y"; "z" ] ] in
+  checki "far traces split" 2 (Clustering.cluster_count ~trace:trace_id items)
+
+let test_cluster_threshold_control () =
+  let items = [ [ "a"; "b" ]; [ "a"; "c" ] ] in
+  checki "strict threshold splits" 2
+    (Clustering.cluster_count ~threshold:0.1 ~trace:trace_id items);
+  checki "loose threshold merges" 1
+    (Clustering.cluster_count ~threshold:0.6 ~trace:trace_id items)
+
+let test_cluster_transitive_chaining () =
+  (* A~B and B~C but A!~C: single linkage puts all three together. *)
+  let a = [ "1"; "2"; "3"; "4" ] in
+  let b = [ "1"; "2"; "3"; "x" ] in
+  let c = [ "1"; "2"; "y"; "x" ] in
+  checki "chained into one" 1 (Clustering.cluster_count ~threshold:0.26 ~trace:trace_id [ a; b; c ]);
+  checki "a alone vs c" 2 (Clustering.cluster_count ~threshold:0.26 ~trace:trace_id [ a; c ])
+
+let test_cluster_representative_first () =
+  let items = [ [ "first" ]; [ "first" ] ] in
+  let clusters = Clustering.cluster ~trace:trace_id items in
+  Alcotest.(check (list string)) "representative" [ "first" ]
+    (List.hd clusters).Clustering.representative
+
+let test_cluster_empty () =
+  checki "no items, no clusters" 0 (Clustering.cluster_count ~trace:trace_id [])
+
+let test_cluster_sorted_by_size () =
+  let items = [ [ "solo" ]; [ "dup" ]; [ "dup" ]; [ "dup" ] ] in
+  match Clustering.cluster ~trace:trace_id items with
+  | big :: small :: [] ->
+      checki "largest first" 3 (List.length big.Clustering.members);
+      checki "smaller second" 1 (List.length small.Clustering.members)
+  | _ -> Alcotest.fail "expected two clusters"
+
+let test_distinct_traces () =
+  checki "distinct count" 2
+    (Clustering.distinct_traces [ [ "a" ]; [ "a" ]; [ "b" ] ]);
+  checki "empty" 0 (Clustering.distinct_traces [])
+
+(* --- Precision --- *)
+
+let test_precision_deterministic () =
+  let p = Precision.measure ~trials:5 (fun () -> 42.0) in
+  checkb "deterministic" true (Precision.deterministic p);
+  checkf "mean" 42.0 p.Precision.mean_impact;
+  checkb "infinite precision" true (p.Precision.precision = infinity)
+
+let test_precision_noisy () =
+  let counter = ref 0 in
+  let p =
+    Precision.measure ~trials:4 (fun () ->
+        incr counter;
+        if !counter mod 2 = 0 then 10.0 else 20.0)
+  in
+  checkb "not deterministic" false (Precision.deterministic p);
+  checkf "mean" 15.0 p.Precision.mean_impact;
+  (* variance of {20,10,20,10} with n-1 = 100/3 *)
+  checkb "precision = 1/var" true
+    (Float.abs (p.Precision.precision -. (3.0 /. 100.0)) < 1e-9)
+
+let test_precision_requires_trials () =
+  checkb "trials >= 1 enforced" true
+    (try ignore (Precision.measure ~trials:0 (fun () -> 0.0)); false
+     with Invalid_argument _ -> true)
+
+(* --- Relevance --- *)
+
+let test_relevance_uniform () =
+  checkf "uniform weight" 1.0 (Relevance.weight Relevance.uniform "anything")
+
+let test_relevance_weights_and_default () =
+  let m = Relevance.of_weights ~default:0.1 [ ("malloc", 0.4); ("read", 0.5) ] in
+  checkf "listed" 0.4 (Relevance.weight m "malloc");
+  checkf "default" 0.1 (Relevance.weight m "write");
+  checkf "scaled impact" 5.0 (Relevance.scale_impact m ~func:"read" 10.0)
+
+let test_relevance_normalized () =
+  let m = Relevance.of_weights [ ("a", 1.0); ("b", 3.0) ] in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "normalized" [ ("a", 0.25); ("b", 0.75) ] (Relevance.normalized m)
+
+let test_relevance_negative_rejected () =
+  checkb "negative rejected" true
+    (try ignore (Relevance.of_weights [ ("x", -0.5) ]); false
+     with Invalid_argument _ -> true)
+
+(* --- Feedback --- *)
+
+let test_feedback_initial_weight () =
+  let fb = Feedback.create () in
+  checkf "nothing seen -> full weight" 1.0 (Feedback.weight fb [ "a"; "b" ]);
+  checki "seen 0" 0 (Feedback.seen fb)
+
+let test_feedback_exact_repeat_zeroed () =
+  let fb = Feedback.create () in
+  Feedback.register fb [ "a"; "b"; "c" ];
+  checkf "exact repeat zeroed" 0.0 (Feedback.weight fb [ "a"; "b"; "c" ]);
+  checki "seen 1" 1 (Feedback.seen fb)
+
+let test_feedback_partial_similarity () =
+  let fb = Feedback.create () in
+  Feedback.register fb [ "a"; "b"; "c"; "d" ];
+  (* 1 differing frame of 4 -> similarity .75 -> weight .25 *)
+  checkf "partial weight" 0.25 (Feedback.weight fb [ "a"; "b"; "c"; "x" ]);
+  (* A dissimilar trace keeps most weight. *)
+  checkb "dissimilar keeps weight" true (Feedback.weight fb [ "p"; "q" ] > 0.7)
+
+let test_feedback_weigh_fitness () =
+  let fb = Feedback.create () in
+  let f1 = Feedback.weigh_fitness fb ~trace:(Some [ "s1"; "s2" ]) 10.0 in
+  checkf "first occurrence unweighted" 10.0 f1;
+  let f2 = Feedback.weigh_fitness fb ~trace:(Some [ "s1"; "s2" ]) 10.0 in
+  checkf "second occurrence zeroed" 0.0 f2;
+  checkf "untriggered passes through" 7.0 (Feedback.weigh_fitness fb ~trace:None 7.0)
+
+let test_feedback_duplicates_collapsed () =
+  let fb = Feedback.create () in
+  Feedback.register fb [ "x" ];
+  Feedback.register fb [ "x" ];
+  checki "collapsed" 1 (Feedback.seen fb)
+
+(* --- qcheck properties --- *)
+
+let qcheck_tests =
+  let open QCheck2 in
+  let frame_gen = Gen.oneofl [ "a"; "b"; "c"; "d" ] in
+  let trace_gen = Gen.(list_size (int_bound 6) frame_gen) in
+  [
+    Test.make ~name:"levenshtein symmetry" (Gen.pair trace_gen trace_gen)
+      (fun (a, b) -> Lev.distance_traces a b = Lev.distance_traces b a);
+    Test.make ~name:"levenshtein identity" trace_gen (fun t ->
+        Lev.distance_traces t t = 0);
+    Test.make ~name:"levenshtein triangle"
+      (Gen.triple trace_gen trace_gen trace_gen)
+      (fun (a, b, c) ->
+        Lev.distance_traces a c <= Lev.distance_traces a b + Lev.distance_traces b c);
+    Test.make ~name:"levenshtein bounded by max length"
+      (Gen.pair trace_gen trace_gen)
+      (fun (a, b) ->
+        Lev.distance_traces a b <= max (List.length a) (List.length b));
+    Test.make ~name:"cluster count bounded by distinct traces"
+      (Gen.list_size (Gen.int_bound 12) trace_gen)
+      (fun traces ->
+        Clustering.cluster_count ~trace:(fun t -> t) traces
+        <= max 1 (Clustering.distinct_traces traces)
+        || traces = []);
+  ]
+
+let suite =
+  List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("levenshtein known values", test_lev_known_values);
+      ("levenshtein frames", test_lev_frames);
+      ("levenshtein similarity bounds", test_lev_similarity_bounds);
+      ("levenshtein trace helpers", test_lev_trace_helpers);
+      ("cluster identical merge", test_cluster_identical_merge);
+      ("cluster near traces merge", test_cluster_near_traces_merge);
+      ("cluster far traces split", test_cluster_far_traces_split);
+      ("cluster threshold control", test_cluster_threshold_control);
+      ("cluster transitive chaining", test_cluster_transitive_chaining);
+      ("cluster representative first", test_cluster_representative_first);
+      ("cluster empty", test_cluster_empty);
+      ("cluster sorted by size", test_cluster_sorted_by_size);
+      ("distinct traces", test_distinct_traces);
+      ("precision deterministic", test_precision_deterministic);
+      ("precision noisy", test_precision_noisy);
+      ("precision requires trials", test_precision_requires_trials);
+      ("relevance uniform", test_relevance_uniform);
+      ("relevance weights/default", test_relevance_weights_and_default);
+      ("relevance normalized", test_relevance_normalized);
+      ("relevance negative rejected", test_relevance_negative_rejected);
+      ("feedback initial weight", test_feedback_initial_weight);
+      ("feedback exact repeat zeroed", test_feedback_exact_repeat_zeroed);
+      ("feedback partial similarity", test_feedback_partial_similarity);
+      ("feedback weigh_fitness", test_feedback_weigh_fitness);
+      ("feedback duplicates collapsed", test_feedback_duplicates_collapsed);
+    ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests
