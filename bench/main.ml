@@ -14,6 +14,7 @@ let experiments =
     ("table6", fun () -> Experiments.table6 ());
     ("fig9", fun () -> Experiments.fig9 ());
     ("scaling", fun () -> Experiments.scaling ());
+    ("pool", fun () -> Experiments.pool ());
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());

@@ -165,9 +165,28 @@ let explore_cmd =
     in
     Arg.(value & opt (some int) None & info [ "assess" ] ~docv:"K" ~doc)
   in
+  let jobs_arg =
+    let doc =
+      "Execute tests on $(docv) worker domains in parallel. The explored \
+       history depends only on the seed and batch size, never on $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc = "Candidates kept in flight per dispatch round." in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
   let run target strategy iterations seed feedback top replay_out multi seed_analysis
-      csv_out json_out assess verbosity =
+      csv_out json_out assess jobs batch verbosity =
     setup_logging verbosity;
+    if jobs < 1 then begin
+      prerr_endline "afex: --jobs must be at least 1";
+      exit 2
+    end;
+    if batch < 1 then begin
+      prerr_endline "afex: --batch must be at least 1";
+      exit 2
+    end;
     match lookup_target target with
     | Error e ->
         prerr_endline e;
@@ -198,8 +217,29 @@ let explore_cmd =
         let executor =
           if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
         in
-        let result = Afex.Session.run ~iterations config sub executor in
+        let result, pool_stats =
+          if jobs = 1 && batch = 1 then
+            (Afex.Session.run ~iterations config sub executor, None)
+          else begin
+            let result, stats =
+              Afex_cluster.Pool.run ~jobs ~batch_size:batch ~iterations config sub
+                (Afex_cluster.Pool.Pure executor)
+            in
+            (result, Some stats)
+          end
+        in
         print_string (Afex_report.Session_report.render ~top ~target result);
+        (match pool_stats with
+        | None -> ()
+        | Some s ->
+            Format.printf
+              "pool: %d jobs, %d batches, %d executed, %d cache hits, %.0f ms wall \
+               (%.0f tests/s)@."
+              jobs s.Afex_cluster.Pool.batches s.Afex_cluster.Pool.executed
+              s.Afex_cluster.Pool.cache_hits s.Afex_cluster.Pool.wall_ms
+              (if s.Afex_cluster.Pool.wall_ms <= 0.0 then 0.0
+               else 1000.0 *. float_of_int result.Afex.Session.iterations
+                    /. s.Afex_cluster.Pool.wall_ms));
         (match assess with
         | None -> ()
         | Some k ->
@@ -239,7 +279,7 @@ let explore_cmd =
     Term.(
       const run $ target_arg $ strategy_arg $ iterations_arg $ seed_arg $ feedback_arg
       $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
-      $ assess_arg $ verbose_arg)
+      $ assess_arg $ jobs_arg $ batch_arg $ verbose_arg)
 
 (* --- afex inject --- *)
 

@@ -1,0 +1,37 @@
+(* Parallel execution: the same campaign on 1 worker and on N worker
+   domains, with bit-identical explored history.
+
+   Run with: dune exec examples/parallel_pool.exe *)
+
+module Pool = Afex_cluster.Pool
+module Config = Afex.Config
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+
+let () =
+  let target = Afex_simtarget.Apache.target () in
+  let sub = Afex_simtarget.Apache.space () in
+  let executor = Pool.Pure (Afex.Executor.of_target target) in
+  let config = Config.fitness_guided ~seed:42 () in
+  let iterations = 1000 in
+
+  (* One campaign per jobs setting; everything about the search — which
+     candidates are generated, in which order outcomes feed back — depends
+     only on the seed and the batch size, never on the parallelism. *)
+  let jobs_n = max 2 (Domain.recommended_domain_count ()) in
+  let sequential, seq_stats = Pool.run ~jobs:1 ~iterations config sub executor in
+  let parallel, par_stats = Pool.run ~jobs:jobs_n ~iterations config sub executor in
+
+  let history (r : Session.result) =
+    List.map (fun (c : Test_case.t) -> Afex_faultspace.Point.key c.Test_case.point)
+      r.Session.executed
+  in
+  Format.printf "jobs 1 : %a@." Session.pp_summary sequential;
+  Format.printf "jobs %d : %a@." jobs_n Session.pp_summary parallel;
+  Format.printf "explored histories identical: %b@."
+    (history sequential = history parallel);
+  Format.printf "jobs 1 : %d executed, %d cache hits, %.0f ms wall@."
+    seq_stats.Pool.executed seq_stats.Pool.cache_hits seq_stats.Pool.wall_ms;
+  Format.printf "jobs %d : %d executed, %d cache hits, %.0f ms wall@." jobs_n
+    par_stats.Pool.executed par_stats.Pool.cache_hits par_stats.Pool.wall_ms;
+  if history sequential <> history parallel then exit 1

@@ -1,0 +1,346 @@
+module Rng = Afex_stats.Rng
+module Scenario = Afex_faultspace.Scenario
+module Point = Afex_faultspace.Point
+module Outcome = Afex_injector.Outcome
+
+type executor =
+  | Pure of Afex.Executor.t
+  | Seeded of {
+      total_blocks : int;
+      description : string;
+      run : Rng.t -> Scenario.t -> Outcome.t;
+    }
+
+let total_blocks = function
+  | Pure e -> e.Afex.Executor.total_blocks
+  | Seeded s -> s.total_blocks
+
+(* The explorer only uses the executor for sizing its coverage bitset and
+   for log lines; all actual execution goes through the pool. *)
+let explorer_executor = function
+  | Pure e -> e
+  | Seeded { total_blocks; description; run = _ } ->
+      Afex.Executor.of_scenario_fn ~total_blocks ~description (fun _ ->
+          invalid_arg "Pool: a seeded executor only runs on the pool")
+
+(* ------------------------------------------------------------------ *)
+(* Bounded work queue (multi-producer, multi-consumer)                 *)
+(* ------------------------------------------------------------------ *)
+
+module Bqueue : sig
+  type 'a t
+
+  val create : int -> 'a t
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  (** Blocks until an element or the queue is closed ([None]). *)
+
+  val close : 'a t -> unit
+end = struct
+  type 'a t = {
+    slots : 'a option array;  (* ring buffer *)
+    mutable head : int;
+    mutable length : int;
+    mutable closed : bool;
+    lock : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+  }
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Pool: queue capacity must be positive";
+    {
+      slots = Array.make capacity None;
+      head = 0;
+      length = 0;
+      closed = false;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+    }
+
+  let push t x =
+    Mutex.lock t.lock;
+    let cap = Array.length t.slots in
+    while t.length = cap && not t.closed do
+      Condition.wait t.not_full t.lock
+    done;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool: push on a closed queue"
+    end
+    else begin
+      t.slots.((t.head + t.length) mod cap) <- Some x;
+      t.length <- t.length + 1;
+      Condition.signal t.not_empty;
+      Mutex.unlock t.lock
+    end
+
+  let pop t =
+    Mutex.lock t.lock;
+    while t.length = 0 && not t.closed do
+      Condition.wait t.not_empty t.lock
+    done;
+    if t.length = 0 then begin
+      Mutex.unlock t.lock;
+      None
+    end
+    else begin
+      let x = t.slots.(t.head) in
+      t.slots.(t.head) <- None;
+      t.head <- (t.head + 1) mod Array.length t.slots;
+      t.length <- t.length - 1;
+      Condition.signal t.not_full;
+      Mutex.unlock t.lock;
+      x
+    end
+
+  let close t =
+    Mutex.lock t.lock;
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full;
+    Mutex.unlock t.lock
+end
+
+(* ------------------------------------------------------------------ *)
+(* Tasks and batches                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Each batch owns its result slots; workers write only their own slot,
+   under the batch lock (which also publishes the write to the explorer
+   domain). *)
+type batch = {
+  results : (Outcome.t, exn) result option array;
+  lock : Mutex.t;
+  finished : Condition.t;
+  mutable completed : int;
+}
+
+type task = { slot : int; thunk : unit -> Outcome.t; batch : batch }
+
+let run_task { slot; thunk; batch } =
+  let result = try Ok (thunk ()) with e -> Error e in
+  Mutex.lock batch.lock;
+  batch.results.(slot) <- Some result;
+  batch.completed <- batch.completed + 1;
+  if batch.completed = Array.length batch.results then
+    Condition.signal batch.finished;
+  Mutex.unlock batch.lock
+
+type t = {
+  jobs : int;
+  executor : executor;
+  queue : task Bqueue.t option;  (* [None]: jobs = 1, execute inline *)
+  domains : unit Domain.t array;
+  mutable shut : bool;
+}
+
+let rec worker queue =
+  match Bqueue.pop queue with
+  | None -> ()
+  | Some task ->
+      run_task task;
+      worker queue
+
+let create ~jobs executor =
+  if jobs < 1 then invalid_arg "Pool.create: need at least one job";
+  if jobs = 1 then { jobs; executor; queue = None; domains = [||]; shut = false }
+  else begin
+    let queue = Bqueue.create (2 * jobs) in
+    let domains = Array.init jobs (fun _ -> Domain.spawn (fun () -> worker queue)) in
+    { jobs; executor; queue = Some queue; domains; shut = false }
+  end
+
+let jobs t = t.jobs
+
+let shutdown t =
+  if not t.shut then begin
+    t.shut <- true;
+    Option.iter Bqueue.close t.queue;
+    Array.iter Domain.join t.domains
+  end
+
+let exec_batch t thunks =
+  let n = Array.length thunks in
+  match t.queue with
+  | None -> Array.map (fun thunk -> try Ok (thunk ()) with e -> Error e) thunks
+  | Some queue ->
+      let batch =
+        {
+          results = Array.make n None;
+          lock = Mutex.create ();
+          finished = Condition.create ();
+          completed = 0;
+        }
+      in
+      Array.iteri (fun slot thunk -> Bqueue.push queue { slot; thunk; batch }) thunks;
+      Mutex.lock batch.lock;
+      while batch.completed < n do
+        Condition.wait batch.finished batch.lock
+      done;
+      Mutex.unlock batch.lock;
+      Array.map (function Some r -> r | None -> assert false) batch.results
+
+(* ------------------------------------------------------------------ *)
+(* The session loop                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { executed : int; cache_hits : int; batches : int; wall_ms : float }
+
+(* Where one candidate's outcome comes from. *)
+type source =
+  | From_worker of int  (* slot in this batch's thunk array *)
+  | From_cache of Outcome.t
+  | Duplicate of int  (* earlier submission index with the same scenario *)
+
+let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true)
+    ~iterations t config sub =
+  if batch_size < 1 then invalid_arg "Pool.session: batch_size must be positive";
+  let started = Unix.gettimeofday () in
+  let explorer =
+    Afex.Explorer.create ?transform config sub (explorer_executor t.executor)
+  in
+  (* Per-batch RNG streams split off a session master: stream identity
+     depends only on (seed, batch index, submission index), never on the
+     worker that happens to run the task. *)
+  let master = Rng.create config.Afex.Config.seed in
+  let cache : (string, Outcome.t) Hashtbl.t = Hashtbl.create 256 in
+  let memoize =
+    memoize && (match t.executor with Pure _ -> true | Seeded _ -> false)
+  in
+  let executed = ref 0 and cache_hits = ref 0 and batches = ref 0 in
+  (* Stop-target accounting, as in Session.run: distinct points only. *)
+  let matched = Hashtbl.create 16 and stop_iteration = ref None in
+  let target_met () =
+    match stop with
+    | Some s -> Hashtbl.length matched >= s.Afex.Session.count
+    | None -> false
+  in
+  let time_exhausted () =
+    match time_budget_ms with
+    | Some budget -> Afex.Explorer.simulated_ms explorer >= budget
+    | None -> false
+  in
+  let issued = ref 0 and exhausted = ref false in
+  let rec loop () =
+    if !issued >= iterations || !exhausted || target_met () || time_exhausted ()
+    then ()
+    else begin
+      let want = min batch_size (iterations - !issued) in
+      let batch_rng = Rng.split master in
+      let rev_proposals = ref [] and count = ref 0 in
+      while !count < want && not !exhausted do
+        match Afex.Explorer.next explorer with
+        | None -> exhausted := true
+        | Some p ->
+            incr count;
+            rev_proposals := p :: !rev_proposals
+      done;
+      let proposals = Array.of_list (List.rev !rev_proposals) in
+      let n = Array.length proposals in
+      if n > 0 then begin
+        incr batches;
+        issued := !issued + n;
+        let scenarios =
+          Array.map (Afex.Explorer.scenario_for explorer) proposals
+        in
+        let rngs =
+          match t.executor with
+          | Seeded _ -> Rng.split_n batch_rng n
+          | Pure _ -> [||]
+        in
+        (* Decide, in submission order, how each candidate is satisfied:
+           fresh worker run, memo-cache hit, or duplicate of an earlier
+           in-batch submission. *)
+        let inflight : (string, int) Hashtbl.t = Hashtbl.create 16 in
+        let rev_thunks = ref [] and n_thunks = ref 0 in
+        let fresh thunk =
+          let slot = !n_thunks in
+          incr n_thunks;
+          rev_thunks := thunk :: !rev_thunks;
+          From_worker slot
+        in
+        let sources =
+          Array.init n (fun i ->
+              match t.executor with
+              | Seeded { run; _ } ->
+                  let rng = rngs.(i) in
+                  fresh (fun () -> run rng scenarios.(i))
+              | Pure exec ->
+                  let execute () = exec.Afex.Executor.run_scenario scenarios.(i) in
+                  if not memoize then fresh execute
+                  else begin
+                    let key = Scenario.to_string scenarios.(i) in
+                    match Hashtbl.find_opt cache key with
+                    | Some outcome ->
+                        incr cache_hits;
+                        From_cache outcome
+                    | None -> (
+                        match Hashtbl.find_opt inflight key with
+                        | Some j ->
+                            incr cache_hits;
+                            Duplicate j
+                        | None ->
+                            Hashtbl.replace inflight key i;
+                            fresh execute)
+                  end)
+        in
+        let results = exec_batch t (Array.of_list (List.rev !rev_thunks)) in
+        executed := !executed + Array.length results;
+        (* Merge in submission order; the explorer learns from outcomes in
+           the exact order candidates were generated. *)
+        let outcomes = Array.make n None in
+        for i = 0 to n - 1 do
+          let result =
+            match sources.(i) with
+            | From_cache outcome -> Ok outcome
+            | From_worker slot -> results.(slot)
+            | Duplicate j -> (
+                match outcomes.(j) with
+                | Some outcome -> Ok outcome
+                | None ->
+                    Error (Invalid_argument "Pool: duplicate of a failed scenario"))
+          in
+          match result with
+          | Error e -> raise e
+          | Ok outcome ->
+              outcomes.(i) <- Some outcome;
+              if memoize then
+                Hashtbl.replace cache (Scenario.to_string scenarios.(i)) outcome;
+              let case = Afex.Explorer.report explorer proposals.(i) outcome in
+              (match stop with
+              | Some s when s.Afex.Session.matches case ->
+                  Hashtbl.replace matched (Point.key case.Afex.Test_case.point) ();
+                  if
+                    Hashtbl.length matched >= s.Afex.Session.count
+                    && !stop_iteration = None
+                  then stop_iteration := Some (Afex.Explorer.iterations explorer)
+              | Some _ | None -> ())
+        done;
+        loop ()
+      end
+    end
+  in
+  loop ();
+  let result =
+    Afex.Session.summarize explorer
+      ~total_blocks:(total_blocks t.executor)
+      ~stopped_early:(target_met ()) ~stop_iteration:!stop_iteration
+  in
+  ( result,
+    {
+      executed = !executed;
+      cache_hits = !cache_hits;
+      batches = !batches;
+      wall_ms = 1000.0 *. (Unix.gettimeofday () -. started);
+    } )
+
+let run ?transform ?stop ?time_budget_ms ?batch_size ?memoize ~jobs ~iterations
+    config sub executor =
+  let t = create ~jobs executor in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      session ?transform ?stop ?time_budget_ms ?batch_size ?memoize ~iterations t
+        config sub)

@@ -1,0 +1,91 @@
+(** Multicore execution backend: a real [Domain]-based worker pool
+    (§6.1, §7.7 — the architecture {!Simulation} only models).
+
+    One explorer thread generates candidate batches; [jobs] worker
+    domains execute them over a bounded shared queue; outcomes are merged
+    back into the explorer in submission order. Because candidate
+    generation and merging both happen sequentially on the explorer
+    thread, the explored-point history depends only on the seed and the
+    batch size — {e never} on [jobs] or on how the OS schedules the
+    domains. A campaign is therefore replayable at any parallelism.
+
+    Deterministic executors additionally get a scenario-keyed outcome
+    cache: a repeated candidate (common late in a beam search, and under
+    random search on small spaces) is served from the cache without
+    occupying a worker. Cache lookups happen on the explorer thread in
+    submission order, so hit counts are deterministic too. *)
+
+type executor =
+  | Pure of Afex.Executor.t
+      (** Deterministic executor: outcome is a function of the scenario
+          alone. Eligible for memoization. *)
+  | Seeded of {
+      total_blocks : int;
+      description : string;
+      run : Afex_stats.Rng.t -> Afex_faultspace.Scenario.t -> Afex_injector.Outcome.t;
+    }
+      (** Stochastic executor (e.g. {!Afex_injector.Engine.nondeterminism}
+          models): each task receives its own RNG stream, split per batch
+          and per task in submission order from the session seed, so runs
+          replay exactly for a fixed seed regardless of [jobs]. Never
+          memoized. *)
+
+type t
+(** A running pool: [jobs] worker domains blocked on the work queue.
+    With [jobs = 1] no domain is spawned and tasks run inline on the
+    caller. *)
+
+val create : jobs:int -> executor -> t
+(** Spawns the worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Closes the queue and joins all worker domains. Idempotent. *)
+
+type stats = {
+  executed : int;  (** scenarios actually run on a worker *)
+  cache_hits : int;  (** outcomes served from the memo cache *)
+  batches : int;
+  wall_ms : float;  (** real elapsed time of the session loop *)
+}
+
+val session :
+  ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
+  ?stop:Afex.Session.stop ->
+  ?time_budget_ms:float ->
+  ?batch_size:int ->
+  ?memoize:bool ->
+  iterations:int ->
+  t ->
+  Afex.Config.t ->
+  Afex_faultspace.Subspace.t ->
+  Afex.Session.result * stats
+(** Parallel counterpart of {!Afex.Session.run} on an existing pool.
+
+    [batch_size] (default 32) is the in-flight window: the explorer
+    issues up to that many candidates, the pool executes them in
+    parallel, and outcomes are reported back in submission order before
+    the next batch is generated. [stop] targets and [time_budget_ms] are
+    checked at batch boundaries (plus per-case during the merge for
+    [stop_iteration]), so they too are [jobs]-independent. With
+    [batch_size = 1] the schedule degenerates to exactly
+    {!Afex.Session.run}'s candidate stream.
+
+    [memoize] (default [true]) enables the outcome cache for [Pure]
+    executors; it is ignored for [Seeded] ones. *)
+
+val run :
+  ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
+  ?stop:Afex.Session.stop ->
+  ?time_budget_ms:float ->
+  ?batch_size:int ->
+  ?memoize:bool ->
+  jobs:int ->
+  iterations:int ->
+  Afex.Config.t ->
+  Afex_faultspace.Subspace.t ->
+  executor ->
+  Afex.Session.result * stats
+(** [create], {!session}, [shutdown] — the one-shot convenience. *)

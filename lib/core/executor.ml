@@ -46,3 +46,40 @@ let of_scenario_fn ~total_blocks ~description run_scenario =
   { run_scenario; total_blocks; description }
 
 let run_fault t fault = t.run_scenario (Fault.to_scenario fault)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let memoized t =
+  (* The injector is deterministic, so a scenario's outcome is a pure
+     function of its attribute bindings: repeated candidates (common late
+     in a beam search, or under random search on small spaces) become
+     free. Guarded by a mutex so the wrapper stays safe when shared
+     across domains. *)
+  let cache : (string, Afex_injector.Outcome.t) Hashtbl.t = Hashtbl.create 256 in
+  let lock = Mutex.create () in
+  let hits = ref 0 and misses = ref 0 in
+  let run_scenario scenario =
+    let key = Afex_faultspace.Scenario.to_string scenario in
+    let cached =
+      Mutex.lock lock;
+      let v = Hashtbl.find_opt cache key in
+      (match v with Some _ -> incr hits | None -> incr misses);
+      Mutex.unlock lock;
+      v
+    in
+    match cached with
+    | Some outcome -> outcome
+    | None ->
+        let outcome = t.run_scenario scenario in
+        Mutex.lock lock;
+        Hashtbl.replace cache key outcome;
+        Mutex.unlock lock;
+        outcome
+  in
+  let stats () =
+    Mutex.lock lock;
+    let s = { hits = !hits; misses = !misses; entries = Hashtbl.length cache } in
+    Mutex.unlock lock;
+    s
+  in
+  ({ t with run_scenario }, stats)

@@ -41,3 +41,12 @@ val of_scenario_fn :
 
 val run_fault : t -> Afex_injector.Fault.t -> Afex_injector.Outcome.t
 (** Convenience: encode the fault as a scenario and run it. *)
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+val memoized : t -> t * (unit -> cache_stats)
+(** [memoized t] wraps [t] with a scenario-keyed outcome cache plus a
+    stats accessor. Only valid for deterministic executors (every
+    built-in simtarget executor without [?nondet] qualifies): a cached
+    outcome is returned verbatim for a repeated scenario. The cache is
+    mutex-guarded and safe to share across domains. *)

@@ -203,6 +203,7 @@ let execute t proposal =
   report t proposal (t.executor.Executor.run_scenario (scenario_for t proposal))
 
 let iterations t = t.iterations
+let pending_count t = Hashtbl.length t.pending
 let records t = List.rev t.records
 let failed_count t = t.failed
 let crashed_count t = t.crashed

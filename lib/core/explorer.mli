@@ -45,6 +45,10 @@ val execute : t -> Mutator.proposal -> Test_case.t
 val iterations : t -> int
 (** Number of reported (executed) tests. *)
 
+val pending_count : t -> int
+(** Candidates handed out by {!next} and not yet {!report}ed — the
+    explorer's in-flight window when the cluster layer pipelines it. *)
+
 val records : t -> Test_case.t list
 (** Chronological. *)
 

@@ -35,6 +35,16 @@ type result = {
       (** iteration at which the [stop] target was satisfied *)
 }
 
+val summarize :
+  Explorer.t ->
+  total_blocks:int ->
+  stopped_early:bool ->
+  stop_iteration:int option ->
+  result
+(** Fold an explorer's final state into a {!result}. Exposed so drivers
+    other than {!run} — notably the multicore pool in [afex_cluster] —
+    can report through the same summary type. *)
+
 val run :
   ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
   ?stop:stop ->

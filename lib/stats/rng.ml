@@ -18,6 +18,10 @@ let split t =
   let s = bits64 t in
   { state = mix s }
 
+let split_n t n =
+  if n < 0 then invalid_arg "Rng.split_n: negative count";
+  Array.init n (fun _ -> split t)
+
 (* Non-negative 62-bit value, safe to use as an OCaml int. *)
 let positive_int t = Int64.to_int (Int64.shift_right_logical (bits64 t) 2)
 
