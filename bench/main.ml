@@ -15,6 +15,7 @@ let experiments =
     ("fig9", fun () -> Experiments.fig9 ());
     ("scaling", fun () -> Experiments.scaling ());
     ("pool", fun () -> Experiments.pool ());
+    ("remote", fun () -> Experiments.remote ());
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());

@@ -4,6 +4,7 @@
    - afex describe --target T          print the target's fault space
    - afex explore --target T ...       run a fault exploration session
    - afex inject --target T ...        replay a single fault injection
+   - afex serve --target T --port P    run a node manager over TCP
    - afex parse FILE                   validate a fault space description
 
    The `inject` command is what the generated replay scripts call, so a
@@ -41,6 +42,25 @@ let lookup_target name =
       Error
         (Printf.sprintf "unknown target %S (try: %s)" name
            (String.concat ", " (List.map (fun (n, _, _) -> n) targets_registry)))
+
+(* A --manager argument is HOST:PORT; the straggler timeout keeps a dead
+   manager from stalling the campaign (its scenarios are requeued on a
+   local worker after the retry budget runs out). *)
+let parse_manager s =
+  let fail () =
+    Error (Printf.sprintf "afex: --manager %S: expected HOST:PORT" s)
+  in
+  match String.rindex_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 && host <> "" ->
+          Ok
+            (Afex_cluster.Remote_manager.tcp_spec ~recv_timeout_ms:10_000 ~host
+               ~port:p ())
+      | Some _ | None -> fail ())
 
 (* --- common arguments --- *)
 
@@ -176,11 +196,30 @@ let explore_cmd =
     let doc = "Candidates kept in flight per dispatch round." in
     Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
   in
+  let manager_arg =
+    let doc =
+      "Also dispatch tests to the remote node manager at $(docv) (repeatable; \
+       start one with $(b,afex serve)). A failing manager's tests are re-run \
+       locally, so the explored history never depends on remote health. With \
+       $(b,--jobs) 0, every test goes over the wire."
+    in
+    Arg.(value & opt_all string [] & info [ "manager" ] ~docv:"HOST:PORT" ~doc)
+  in
   let run target strategy iterations seed feedback top replay_out multi seed_analysis
-      csv_out json_out assess jobs batch verbosity =
+      csv_out json_out assess jobs batch managers verbosity =
     setup_logging verbosity;
-    if jobs < 1 then begin
-      prerr_endline "afex: --jobs must be at least 1";
+    let specs =
+      List.map
+        (fun m ->
+          match parse_manager m with
+          | Ok spec -> spec
+          | Error e ->
+              prerr_endline e;
+              exit 2)
+        managers
+    in
+    if jobs < 0 || (jobs = 0 && specs = []) then begin
+      prerr_endline "afex: --jobs must be at least 1 (0 needs --manager)";
       exit 2
     end;
     if batch < 1 then begin
@@ -218,20 +257,27 @@ let explore_cmd =
           if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
         in
         let result, pool_stats =
-          if jobs = 1 && batch = 1 then
+          if jobs = 1 && batch = 1 && specs = [] then
             (Afex.Session.run ~iterations config sub executor, None)
           else begin
-            let result, stats =
-              Afex_cluster.Pool.run ~jobs ~batch_size:batch ~iterations config sub
+            let pool =
+              Afex_cluster.Pool.create ~remotes:specs ~jobs
                 (Afex_cluster.Pool.Pure executor)
             in
-            (result, Some stats)
+            let result, stats =
+              Fun.protect
+                ~finally:(fun () -> Afex_cluster.Pool.shutdown pool)
+                (fun () ->
+                  Afex_cluster.Pool.session ~batch_size:batch ~iterations pool
+                    config sub)
+            in
+            (result, Some (stats, Afex_cluster.Pool.remote_stats pool))
           end
         in
         print_string (Afex_report.Session_report.render ~top ~target result);
         (match pool_stats with
         | None -> ()
-        | Some s ->
+        | Some (s, remote_stats) ->
             Format.printf
               "pool: %d jobs, %d batches, %d executed, %d cache hits, %.0f ms wall \
                (%.0f tests/s)@."
@@ -239,7 +285,20 @@ let explore_cmd =
               s.Afex_cluster.Pool.cache_hits s.Afex_cluster.Pool.wall_ms
               (if s.Afex_cluster.Pool.wall_ms <= 0.0 then 0.0
                else 1000.0 *. float_of_int result.Afex.Session.iterations
-                    /. s.Afex_cluster.Pool.wall_ms));
+                    /. s.Afex_cluster.Pool.wall_ms);
+            if remote_stats <> [] then begin
+              Format.printf "remote: %d runs over the wire, %d local fallbacks@."
+                s.Afex_cluster.Pool.remote_runs s.Afex_cluster.Pool.remote_fallbacks;
+              List.iter
+                (fun (name, (r : Afex_cluster.Remote_manager.stats)) ->
+                  Format.printf
+                    "  %s: %d requests, %d retries, %d dials, %d manager errors@."
+                    name r.Afex_cluster.Remote_manager.requests
+                    r.Afex_cluster.Remote_manager.retries
+                    r.Afex_cluster.Remote_manager.dials
+                    r.Afex_cluster.Remote_manager.manager_errors)
+                remote_stats
+            end);
         (match assess with
         | None -> ()
         | Some k ->
@@ -279,7 +338,55 @@ let explore_cmd =
     Term.(
       const run $ target_arg $ strategy_arg $ iterations_arg $ seed_arg $ feedback_arg
       $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
-      $ assess_arg $ jobs_arg $ batch_arg $ verbose_arg)
+      $ assess_arg $ jobs_arg $ batch_arg $ manager_arg $ verbose_arg)
+
+(* --- afex serve --- *)
+
+let serve_cmd =
+  let port_arg =
+    let doc =
+      "TCP port to listen on. Port 0 picks an ephemeral port; the actual \
+       address is announced on stdout."
+    in
+    Arg.(value & opt int 7654 & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+  in
+  let host_arg =
+    let doc = "Address to bind." in
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+  in
+  let once_arg =
+    let doc = "Exit after the first connection ends (useful in scripts and CI)." in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let multi_arg =
+    let doc =
+      "Execute 2-fault compound scenarios (pair with $(b,explore --multi))."
+    in
+    Arg.(value & flag & info [ "multi" ] ~doc)
+  in
+  let run target host port once multi verbosity =
+    setup_logging verbosity;
+    match lookup_target target with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok (t, _) -> (
+        let executor =
+          if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
+        in
+        match Afex_cluster.Remote_manager.serve_tcp ~host ~port ~once executor with
+        | Ok () -> ()
+        | Error e ->
+            prerr_endline
+              ("afex: serve: " ^ Afex_cluster.Remote_manager.string_of_error e);
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a node manager serving fault scenarios over TCP (the AFEX wire \
+          protocol); point $(b,explore --manager) at it")
+    Term.(const run $ target_arg $ host_arg $ port_arg $ once_arg $ multi_arg $ verbose_arg)
 
 (* --- afex inject --- *)
 
@@ -422,4 +529,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ targets_cmd; describe_cmd; explore_cmd; inject_cmd; analyze_cmd; parse_cmd ]))
+          [
+            targets_cmd;
+            describe_cmd;
+            explore_cmd;
+            serve_cmd;
+            inject_cmd;
+            analyze_cmd;
+            parse_cmd;
+          ]))

@@ -1,15 +1,134 @@
 module Scenario = Afex_faultspace.Scenario
+module Fault = Afex_injector.Fault
 module Outcome = Afex_injector.Outcome
+module Bitset = Afex_stats.Bitset
+
+let protocol_version = 1
+let max_line = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Percent-escaping: stack frames and error messages may contain       *)
+(* anything (spaces, commas, newlines, non-ASCII); the wire format     *)
+(* tokenizes on spaces and joins list elements with commas, so both    *)
+(* must be escaped along with control and non-ASCII bytes.             *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      let c = Char.code ch in
+      if c > 0x20 && c < 0x7f && ch <> '%' && ch <> ',' then Buffer.add_char b ch
+      else Buffer.add_string b (Printf.sprintf "%%%02X" c))
+    s;
+  Buffer.contents b
+
+let hex_digit = function
+  | '0' .. '9' as c -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' as c -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' as c -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then Ok (Buffer.contents b)
+    else if s.[i] = '%' then
+      if i + 2 >= n then Error (Printf.sprintf "truncated escape in %S" s)
+      else
+        match hex_digit s.[i + 1], hex_digit s.[i + 2] with
+        | Some hi, Some lo ->
+            Buffer.add_char b (Char.chr ((hi * 16) + lo));
+            go (i + 3)
+        | _ -> Error (Printf.sprintf "malformed escape in %S" s)
+    else begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Handshake                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type greeting = Welcome of int | Reject of string
+
+let encode_hello ~version = Printf.sprintf "HELLO afex %d" version
+
+let decode_hello line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "HELLO"; "afex"; v ] -> (
+      match int_of_string_opt v with
+      | Some v when v >= 0 -> Ok v
+      | Some _ | None -> Error (Printf.sprintf "malformed hello version %S" v))
+  | _ -> Error (Printf.sprintf "malformed hello %S" line)
+
+let encode_welcome ~version = Printf.sprintf "WELCOME afex %d" version
+let encode_reject ~reason = "REJECT " ^ escape reason
+
+let decode_greeting line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "WELCOME"; "afex"; v ] -> (
+      match int_of_string_opt v with
+      | Some v when v >= 0 -> Ok (Welcome v)
+      | Some _ | None -> Error (Printf.sprintf "malformed welcome version %S" v))
+  | [ "REJECT"; reason ] -> Result.map (fun r -> Reject r) (unescape reason)
+  | [ "REJECT" ] -> Ok (Reject "")
+  | _ -> Error (Printf.sprintf "malformed greeting %S" line)
+
+(* ------------------------------------------------------------------ *)
+(* Explorer -> manager                                                 *)
+(* ------------------------------------------------------------------ *)
 
 type to_manager =
   | Run_scenario of { seq : int; scenario : Scenario.t }
   | Shutdown
+
+let encode_to_manager = function
+  | Shutdown -> "SHUTDOWN"
+  | Run_scenario { seq; scenario } ->
+      Printf.sprintf "RUN %d %s" seq (Scenario.to_string scenario)
+
+let decode_to_manager line =
+  if String.length line > max_line then
+    Error
+      (Printf.sprintf "oversized message: %d bytes exceeds the %d-byte limit"
+         (String.length line) max_line)
+  else begin
+    let line = String.trim line in
+    if String.equal line "" then Error "empty message"
+    else if String.equal line "SHUTDOWN" then Ok Shutdown
+    else begin
+      match String.split_on_char ' ' line with
+      | "RUN" :: seq :: (_ :: _ as rest) -> (
+          match int_of_string_opt seq with
+          | None -> Error (Printf.sprintf "malformed sequence number %S" seq)
+          | Some seq when seq < 0 ->
+              Error (Printf.sprintf "negative sequence number %d" seq)
+          | Some seq -> (
+              match Scenario.of_string (String.concat " " rest) with
+              | Ok [] -> Error "empty scenario"
+              | Ok scenario -> Ok (Run_scenario { seq; scenario })
+              | Error e -> Error e))
+      | [ "RUN" ] | [ "RUN"; _ ] ->
+          Error "RUN needs a sequence number and a scenario"
+      | _ -> Error (Printf.sprintf "unknown message %S" line)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Manager -> explorer                                                 *)
+(* ------------------------------------------------------------------ *)
 
 type run_report = {
   seq : int;
   status : Outcome.status;
   triggered : bool;
   new_blocks : int;
+  fault : Fault.t;
+  coverage : int list;
   injection_stack : string list option;
   crash_stack : string list option;
   duration_ms : float;
@@ -19,24 +138,231 @@ type from_manager =
   | Scenario_result of run_report
   | Manager_error of { seq : int; message : string }
 
-let encode_to_manager = function
-  | Shutdown -> "SHUTDOWN"
-  | Run_scenario { seq; scenario } ->
-      Printf.sprintf "RUN %d %s" seq (Scenario.to_string scenario)
+let status_token = function
+  | Outcome.Passed -> "P"
+  | Outcome.Test_failed -> "F"
+  | Outcome.Crashed -> "C"
+  | Outcome.Hung -> "H"
 
-let decode_to_manager line =
-  let line = String.trim line in
-  if String.equal line "SHUTDOWN" then Ok Shutdown
+let status_of_token = function
+  | "P" -> Ok Outcome.Passed
+  | "F" -> Ok Outcome.Test_failed
+  | "C" -> Ok Outcome.Crashed
+  | "H" -> Ok Outcome.Hung
+  | t -> Error (Printf.sprintf "unknown status token %S" t)
+
+(* Stacks: "-" = None; "@<count>:<comma-joined escaped frames>" = Some.
+   The explicit count disambiguates [Some []] from [Some [""]]. *)
+
+let encode_stack = function
+  | None -> "-"
+  | Some frames ->
+      Printf.sprintf "@%d:%s" (List.length frames)
+        (String.concat "," (List.map escape frames))
+
+let decode_stack s =
+  if String.equal s "-" then Ok None
+  else if String.length s >= 1 && s.[0] = '@' then begin
+    match String.index_opt s ':' with
+    | None -> Error (Printf.sprintf "stack %S has no frame count" s)
+    | Some colon -> (
+        let joined = String.sub s (colon + 1) (String.length s - colon - 1) in
+        match int_of_string_opt (String.sub s 1 (colon - 1)) with
+        | None -> Error (Printf.sprintf "malformed frame count in %S" s)
+        | Some n when n < 0 ->
+            Error (Printf.sprintf "negative frame count in %S" s)
+        | Some 0 ->
+            if String.equal joined "" then Ok (Some [])
+            else Error (Printf.sprintf "frames after a zero count in %S" s)
+        | Some n ->
+            let parts = String.split_on_char ',' joined in
+            if List.length parts <> n then
+              Error
+                (Printf.sprintf "stack %S declares %d frames, carries %d" s n
+                   (List.length parts))
+            else begin
+              let rec unescape_all acc = function
+                | [] -> Ok (Some (List.rev acc))
+                | p :: rest -> (
+                    match unescape p with
+                    | Ok f -> unescape_all (f :: acc) rest
+                    | Error e -> Error e)
+              in
+              unescape_all [] parts
+            end)
+  end
+  else Error (Printf.sprintf "malformed stack %S" s)
+
+(* Coverage: "-" = empty; otherwise comma-joined runs "a" / "a-b" over
+   the ascending block indices. *)
+
+let encode_coverage = function
+  | [] -> "-"
+  | first :: rest ->
+      let b = Buffer.create 64 in
+      let emit lo hi =
+        if Buffer.length b > 0 then Buffer.add_char b ',';
+        if lo = hi then Buffer.add_string b (string_of_int lo)
+        else Buffer.add_string b (Printf.sprintf "%d-%d" lo hi)
+      in
+      let lo, hi =
+        List.fold_left
+          (fun (lo, hi) i ->
+            if i = hi + 1 then (lo, i)
+            else begin
+              emit lo hi;
+              (i, i)
+            end)
+          (first, first) rest
+      in
+      emit lo hi;
+      Buffer.contents b
+
+let decode_coverage s =
+  if String.equal s "-" then Ok []
   else begin
-    match String.split_on_char ' ' line with
-    | "RUN" :: seq :: rest -> (
+    let piece p =
+      match String.index_opt p '-' with
+      | None -> (
+          match int_of_string_opt p with
+          | Some v when v >= 0 -> Ok [ v ]
+          | Some _ | None -> Error (Printf.sprintf "malformed block index %S" p))
+      | Some dash -> (
+          let a = String.sub p 0 dash in
+          let b = String.sub p (dash + 1) (String.length p - dash - 1) in
+          match int_of_string_opt a, int_of_string_opt b with
+          | Some lo, Some hi when lo >= 0 && hi >= lo ->
+              Ok (List.init (hi - lo + 1) (fun i -> lo + i))
+          | _ -> Error (Printf.sprintf "malformed block range %S" p))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.concat (List.rev acc))
+      | p :: rest -> (
+          match piece p with Ok l -> go (l :: acc) rest | Error e -> Error e)
+    in
+    go [] (String.split_on_char ',' s)
+  end
+
+let report_of_outcome ~seq (o : Outcome.t) =
+  {
+    seq;
+    status = o.Outcome.status;
+    triggered = o.Outcome.triggered;
+    new_blocks = 0 (* the explorer recomputes against its own coverage *);
+    fault = o.Outcome.fault;
+    coverage = Bitset.to_list o.Outcome.coverage;
+    injection_stack = o.Outcome.injection_stack;
+    crash_stack = o.Outcome.crash_stack;
+    duration_ms = o.Outcome.duration_ms;
+  }
+
+let outcome_of_report ~total_blocks r =
+  let coverage = Bitset.create total_blocks in
+  match
+    List.iter
+      (fun i ->
+        if i < 0 || i >= total_blocks then
+          invalid_arg (Printf.sprintf "block index %d outside [0,%d)" i total_blocks)
+        else Bitset.set coverage i)
+      r.coverage
+  with
+  | () ->
+      Ok
+        {
+          Outcome.fault = r.fault;
+          status = r.status;
+          triggered = r.triggered;
+          coverage;
+          injection_stack = r.injection_stack;
+          crash_stack = r.crash_stack;
+          duration_ms = r.duration_ms;
+        }
+  | exception Invalid_argument m -> Error m
+
+let encode_from_manager = function
+  | Manager_error { seq; message } ->
+      Printf.sprintf "ERROR %d %s" seq (escape message)
+  | Scenario_result r ->
+      (* %h (hexadecimal float) round-trips the duration exactly. *)
+      Printf.sprintf "RESULT %d %s %s %d %h %s %s %s %s" r.seq
+        (status_token r.status)
+        (if r.triggered then "T" else "N")
+        r.new_blocks r.duration_ms
+        (escape (Scenario.to_string (Fault.to_scenario r.fault)))
+        (encode_coverage r.coverage)
+        (encode_stack r.injection_stack)
+        (encode_stack r.crash_stack)
+
+let decode_fault s =
+  match unescape s with
+  | Error e -> Error e
+  | Ok line -> (
+      match Scenario.of_string line with
+      | Error e -> Error e
+      | Ok scenario -> Fault.of_scenario scenario)
+
+let decode_from_manager line =
+  if String.length line > max_line then
+    Error
+      (Printf.sprintf "oversized message: %d bytes exceeds the %d-byte limit"
+         (String.length line) max_line)
+  else begin
+    match String.split_on_char ' ' (String.trim line) with
+    | [ "ERROR"; seq ] -> (
+        (* an empty message escapes to the empty string, which trimming ate *)
         match int_of_string_opt seq with
-        | None -> Error (Printf.sprintf "malformed sequence number %S" seq)
-        | Some seq -> (
-            match Scenario.of_string (String.concat " " rest) with
-            | Ok scenario -> Ok (Run_scenario { seq; scenario })
-            | Error e -> Error e))
-    | _ -> Error (Printf.sprintf "unknown message %S" line)
+        | Some seq -> Ok (Manager_error { seq; message = "" })
+        | None -> Error (Printf.sprintf "malformed sequence number %S" seq))
+    | [ "ERROR"; seq; message ] -> (
+        let ( let* ) = Result.bind in
+        let* seq =
+          match int_of_string_opt seq with
+          | Some s -> Ok s
+          | None -> Error (Printf.sprintf "malformed sequence number %S" seq)
+        in
+        let* message = unescape message in
+        Ok (Manager_error { seq; message }))
+    | [ "RESULT"; seq; status; triggered; new_blocks; duration; fault; coverage;
+        istack; cstack ] -> (
+        let ( let* ) = Result.bind in
+        let int_field name v =
+          match int_of_string_opt v with
+          | Some i -> Ok i
+          | None -> Error (Printf.sprintf "malformed %s %S" name v)
+        in
+        let* seq = int_field "sequence number" seq in
+        let* status = status_of_token status in
+        let* triggered =
+          match triggered with
+          | "T" -> Ok true
+          | "N" -> Ok false
+          | t -> Error (Printf.sprintf "malformed triggered flag %S" t)
+        in
+        let* new_blocks = int_field "new-blocks count" new_blocks in
+        let* duration_ms =
+          match float_of_string_opt duration with
+          | Some f -> Ok f
+          | None -> Error (Printf.sprintf "malformed duration %S" duration)
+        in
+        let* fault = decode_fault fault in
+        let* coverage = decode_coverage coverage in
+        let* injection_stack = decode_stack istack in
+        let* crash_stack = decode_stack cstack in
+        Ok
+          (Scenario_result
+             {
+               seq;
+               status;
+               triggered;
+               new_blocks;
+               fault;
+               coverage;
+               injection_stack;
+               crash_stack;
+               duration_ms;
+             }))
+    | "RESULT" :: _ -> Error "RESULT carries the wrong number of fields"
+    | _ -> Error (Printf.sprintf "unknown message %S" (String.trim line))
   end
 
 let pp_from_manager ppf = function

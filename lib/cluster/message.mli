@@ -2,17 +2,58 @@
 
     The explorer sends fault scenarios in the Fig. 5 wire format; managers
     break them into atomic faults, drive injectors and sensors, and send
-    back a single aggregated impact measurement. *)
+    back the measured result. Both directions are single lines of text
+    (the transport frames them); every decoder is total and returns
+    [Error] on malformed input — wire bytes are never trusted.
+
+    The protocol is versioned: a connection opens with a [HELLO]
+    handshake and the manager answers [WELCOME] (same version) or
+    [REJECT]. Bump {!protocol_version} on any wire-format change. *)
+
+val protocol_version : int
+
+val max_line : int
+(** Maximum accepted length of one protocol line (1 MiB); longer input is
+    rejected by the decoders rather than parsed. *)
+
+(** {2 Handshake} *)
+
+type greeting = Welcome of int | Reject of string
+
+val encode_hello : version:int -> string
+val decode_hello : string -> (int, string) result
+val encode_welcome : version:int -> string
+val encode_reject : reason:string -> string
+val decode_greeting : string -> (greeting, string) result
+
+(** {2 Explorer -> manager} *)
 
 type to_manager =
   | Run_scenario of { seq : int; scenario : Afex_faultspace.Scenario.t }
   | Shutdown
 
+val encode_to_manager : to_manager -> string
+(** Line-oriented wire encoding (scenario payload in Fig. 5 format). *)
+
+val decode_to_manager : string -> (to_manager, string) result
+(** Total: empty lines, malformed or negative sequence numbers, missing
+    scenarios and payloads beyond {!max_line} all return [Error]. *)
+
+(** {2 Manager -> explorer} *)
+
 type run_report = {
   seq : int;
   status : Afex_injector.Outcome.status;
   triggered : bool;
-  new_blocks : int;  (** measured by the manager's coverage sensor *)
+  new_blocks : int;
+      (** manager-side guess; the explorer recomputes against its own
+          covered set, so managers send 0 *)
+  fault : Afex_injector.Fault.t;
+      (** the atomic fault the manager decoded and injected *)
+  coverage : int list;
+      (** covered basic-block indices — what the explorer's fitness and
+          coverage accounting need to reproduce an in-process run
+          bit-for-bit *)
   injection_stack : string list option;
   crash_stack : string list option;
   duration_ms : float;
@@ -21,10 +62,21 @@ type run_report = {
 type from_manager =
   | Scenario_result of run_report
   | Manager_error of { seq : int; message : string }
+      (** [seq = -1] when the manager could not even decode the request *)
 
-val encode_to_manager : to_manager -> string
-(** Line-oriented wire encoding (scenario payload in Fig. 5 format). *)
+val report_of_outcome : seq:int -> Afex_injector.Outcome.t -> run_report
 
-val decode_to_manager : string -> (to_manager, string) result
+val outcome_of_report :
+  total_blocks:int -> run_report -> (Afex_injector.Outcome.t, string) result
+(** Rebuild the full outcome on the explorer side. [Error] if a coverage
+    index falls outside [\[0, total_blocks)]. *)
+
+val encode_from_manager : from_manager -> string
+(** One line. Stack frames and error messages are percent-escaped, so
+    newlines, spaces, commas and non-ASCII bytes round-trip; the duration
+    is carried as a hexadecimal float and round-trips exactly. *)
+
+val decode_from_manager : string -> (from_manager, string) result
+(** Total inverse of {!encode_from_manager}. *)
 
 val pp_from_manager : Format.formatter -> from_manager -> unit

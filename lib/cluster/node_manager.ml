@@ -30,15 +30,4 @@ let handle t = function
       | exception Invalid_argument message ->
           Some (Message.Manager_error { seq; message }, 0.1)
       | outcome, elapsed ->
-          let report =
-            {
-              Message.seq;
-              status = outcome.Outcome.status;
-              triggered = outcome.Outcome.triggered;
-              new_blocks = 0 (* the explorer recomputes against its own coverage *);
-              injection_stack = outcome.Outcome.injection_stack;
-              crash_stack = outcome.Outcome.crash_stack;
-              duration_ms = outcome.Outcome.duration_ms;
-            }
-          in
-          Some (Message.Scenario_result report, elapsed))
+          Some (Message.Scenario_result (Message.report_of_outcome ~seq outcome), elapsed))

@@ -117,10 +117,17 @@ type batch = {
   mutable completed : int;
 }
 
-type task = { slot : int; thunk : unit -> Outcome.t; batch : batch }
+(* [scenario] is carried alongside the local thunk so a remote worker can
+   ship the task over the wire; [None] (seeded executors, whose RNG
+   closure cannot cross the wire) forces local execution everywhere. *)
+type task = {
+  slot : int;
+  scenario : Scenario.t option;
+  thunk : unit -> Outcome.t;
+  batch : batch;
+}
 
-let run_task { slot; thunk; batch } =
-  let result = try Ok (thunk ()) with e -> Error e in
+let complete { slot; batch; _ } result =
   Mutex.lock batch.lock;
   batch.results.(slot) <- Some result;
   batch.completed <- batch.completed + 1;
@@ -128,11 +135,16 @@ let run_task { slot; thunk; batch } =
     Condition.signal batch.finished;
   Mutex.unlock batch.lock
 
+let run_task task = complete task (try Ok (task.thunk ()) with e -> Error e)
+
 type t = {
   jobs : int;
   executor : executor;
   queue : task Bqueue.t option;  (* [None]: jobs = 1, execute inline *)
   domains : unit Domain.t array;
+  remotes : Remote_manager.t list;
+  remote_runs : int Atomic.t;
+  remote_fallbacks : int Atomic.t;
   mutable shut : bool;
 }
 
@@ -143,16 +155,75 @@ let rec worker queue =
       run_task task;
       worker queue
 
-let create ~jobs executor =
-  if jobs < 1 then invalid_arg "Pool.create: need at least one job";
-  if jobs = 1 then { jobs; executor; queue = None; domains = [||]; shut = false }
+(* A remote worker drains the same queue as the local ones, but ships each
+   scenario to its manager first. Any remote failure — dead manager,
+   exhausted retry budget, byzantine reply — falls back to the task's
+   local thunk, so a bad manager costs throughput, never correctness. *)
+let rec remote_worker ~runs ~fallbacks rm queue =
+  match Bqueue.pop queue with
+  | None -> Remote_manager.close rm
+  | Some task ->
+      (match task.scenario with
+      | Some scenario -> (
+          match Remote_manager.run_scenario rm scenario with
+          | Ok outcome ->
+              Atomic.incr runs;
+              complete task (Ok outcome)
+          | Error _ ->
+              Atomic.incr fallbacks;
+              run_task task)
+      | None -> run_task task);
+      remote_worker ~runs ~fallbacks rm queue
+
+let create ?(remotes = []) ~jobs executor =
+  if jobs < 0 then invalid_arg "Pool.create: jobs must be non-negative";
+  if jobs = 0 && remotes = [] then
+    invalid_arg "Pool.create: need at least one worker (jobs or remotes)";
+  let remote_runs = Atomic.make 0 and remote_fallbacks = Atomic.make 0 in
+  if jobs = 1 && remotes = [] then
+    {
+      jobs;
+      executor;
+      queue = None;
+      domains = [||];
+      remotes = [];
+      remote_runs;
+      remote_fallbacks;
+      shut = false;
+    }
   else begin
-    let queue = Bqueue.create (2 * jobs) in
-    let domains = Array.init jobs (fun _ -> Domain.spawn (fun () -> worker queue)) in
-    { jobs; executor; queue = Some queue; domains; shut = false }
+    let rms =
+      List.map
+        (fun spec ->
+          Remote_manager.create spec ~total_blocks:(total_blocks executor))
+        remotes
+    in
+    let workers = jobs + List.length rms in
+    let queue = Bqueue.create (2 * workers) in
+    let local = Array.init jobs (fun _ -> Domain.spawn (fun () -> worker queue)) in
+    let remote =
+      Array.of_list
+        (List.map
+           (fun rm ->
+             Domain.spawn (fun () ->
+                 remote_worker ~runs:remote_runs ~fallbacks:remote_fallbacks rm
+                   queue))
+           rms)
+    in
+    {
+      jobs;
+      executor;
+      queue = Some queue;
+      domains = Array.append local remote;
+      remotes = rms;
+      remote_runs;
+      remote_fallbacks;
+      shut = false;
+    }
   end
 
 let jobs t = t.jobs
+let remote_stats t = List.map (fun rm -> (Remote_manager.name rm, Remote_manager.stats rm)) t.remotes
 
 let shutdown t =
   if not t.shut then begin
@@ -161,10 +232,11 @@ let shutdown t =
     Array.iter Domain.join t.domains
   end
 
-let exec_batch t thunks =
-  let n = Array.length thunks in
+let exec_batch t tasks =
+  let n = Array.length tasks in
   match t.queue with
-  | None -> Array.map (fun thunk -> try Ok (thunk ()) with e -> Error e) thunks
+  | None ->
+      Array.map (fun (_, thunk) -> try Ok (thunk ()) with e -> Error e) tasks
   | Some queue ->
       let batch =
         {
@@ -174,7 +246,10 @@ let exec_batch t thunks =
           completed = 0;
         }
       in
-      Array.iteri (fun slot thunk -> Bqueue.push queue { slot; thunk; batch }) thunks;
+      Array.iteri
+        (fun slot (scenario, thunk) ->
+          Bqueue.push queue { slot; scenario; thunk; batch })
+        tasks;
       Mutex.lock batch.lock;
       while batch.completed < n do
         Condition.wait batch.finished batch.lock
@@ -186,7 +261,14 @@ let exec_batch t thunks =
 (* The session loop                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type stats = { executed : int; cache_hits : int; batches : int; wall_ms : float }
+type stats = {
+  executed : int;
+  cache_hits : int;
+  batches : int;
+  remote_runs : int;
+  remote_fallbacks : int;
+  wall_ms : float;
+}
 
 (* Where one candidate's outcome comes from. *)
 type source =
@@ -210,6 +292,8 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
     memoize && (match t.executor with Pure _ -> true | Seeded _ -> false)
   in
   let executed = ref 0 and cache_hits = ref 0 and batches = ref 0 in
+  let remote_runs0 = Atomic.get t.remote_runs in
+  let remote_fallbacks0 = Atomic.get t.remote_fallbacks in
   (* Stop-target accounting, as in Session.run: distinct points only. *)
   let matched = Hashtbl.create 16 and stop_iteration = ref None in
   let target_met () =
@@ -254,11 +338,11 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
            fresh worker run, memo-cache hit, or duplicate of an earlier
            in-batch submission. *)
         let inflight : (string, int) Hashtbl.t = Hashtbl.create 16 in
-        let rev_thunks = ref [] and n_thunks = ref 0 in
-        let fresh thunk =
-          let slot = !n_thunks in
-          incr n_thunks;
-          rev_thunks := thunk :: !rev_thunks;
+        let rev_tasks = ref [] and n_tasks = ref 0 in
+        let fresh scenario thunk =
+          let slot = !n_tasks in
+          incr n_tasks;
+          rev_tasks := (scenario, thunk) :: !rev_tasks;
           From_worker slot
         in
         let sources =
@@ -266,10 +350,12 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
               match t.executor with
               | Seeded { run; _ } ->
                   let rng = rngs.(i) in
-                  fresh (fun () -> run rng scenarios.(i))
+                  (* The RNG closure cannot cross the wire: never remoted. *)
+                  fresh None (fun () -> run rng scenarios.(i))
               | Pure exec ->
                   let execute () = exec.Afex.Executor.run_scenario scenarios.(i) in
-                  if not memoize then fresh execute
+                  let scenario = Some scenarios.(i) in
+                  if not memoize then fresh scenario execute
                   else begin
                     let key = Scenario.to_string scenarios.(i) in
                     match Hashtbl.find_opt cache key with
@@ -283,10 +369,10 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
                             Duplicate j
                         | None ->
                             Hashtbl.replace inflight key i;
-                            fresh execute)
+                            fresh scenario execute)
                   end)
         in
-        let results = exec_batch t (Array.of_list (List.rev !rev_thunks)) in
+        let results = exec_batch t (Array.of_list (List.rev !rev_tasks)) in
         executed := !executed + Array.length results;
         (* Merge in submission order; the explorer learns from outcomes in
            the exact order candidates were generated. *)
@@ -333,12 +419,14 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
       executed = !executed;
       cache_hits = !cache_hits;
       batches = !batches;
+      remote_runs = Atomic.get t.remote_runs - remote_runs0;
+      remote_fallbacks = Atomic.get t.remote_fallbacks - remote_fallbacks0;
       wall_ms = 1000.0 *. (Unix.gettimeofday () -. started);
     } )
 
-let run ?transform ?stop ?time_budget_ms ?batch_size ?memoize ~jobs ~iterations
-    config sub executor =
-  let t = create ~jobs executor in
+let run ?transform ?stop ?time_budget_ms ?batch_size ?memoize ?remotes ~jobs
+    ~iterations config sub executor =
+  let t = create ?remotes ~jobs executor in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->

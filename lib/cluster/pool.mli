@@ -31,15 +31,25 @@ type executor =
           memoized. *)
 
 type t
-(** A running pool: [jobs] worker domains blocked on the work queue.
-    With [jobs = 1] no domain is spawned and tasks run inline on the
+(** A running pool: [jobs] local worker domains plus one proxy domain per
+    remote manager, all blocked on the same work queue. With [jobs = 1]
+    and no remotes, no domain is spawned and tasks run inline on the
     caller. *)
 
-val create : jobs:int -> executor -> t
-(** Spawns the worker domains.
-    @raise Invalid_argument if [jobs < 1]. *)
+val create : ?remotes:Remote_manager.spec list -> jobs:int -> executor -> t
+(** Spawns the worker domains. Each remote spec gets a dedicated proxy
+    domain that ships scenarios to its manager over the wire and falls
+    back to running them locally if the manager fails (dead, exhausted
+    retries, byzantine replies) — so remotes affect throughput, never the
+    explored-point history. Remote connections are dialed lazily on first
+    use. [Seeded] tasks are never sent remotely (their RNG stream cannot
+    cross the wire).
+    @raise Invalid_argument if [jobs < 0] or [jobs = 0] with no remotes. *)
 
 val jobs : t -> int
+
+val remote_stats : t -> (string * Remote_manager.stats) list
+(** One [(name, stats)] per remote manager, in [create] order. *)
 
 val shutdown : t -> unit
 (** Closes the queue and joins all worker domains. Idempotent. *)
@@ -48,6 +58,9 @@ type stats = {
   executed : int;  (** scenarios actually run on a worker *)
   cache_hits : int;  (** outcomes served from the memo cache *)
   batches : int;
+  remote_runs : int;  (** scenarios whose outcome came over the wire *)
+  remote_fallbacks : int;
+      (** remote attempts that failed and were re-run locally *)
   wall_ms : float;  (** real elapsed time of the session loop *)
 }
 
@@ -82,6 +95,7 @@ val run :
   ?time_budget_ms:float ->
   ?batch_size:int ->
   ?memoize:bool ->
+  ?remotes:Remote_manager.spec list ->
   jobs:int ->
   iterations:int ->
   Afex.Config.t ->

@@ -1,0 +1,353 @@
+module Rng = Afex_stats.Rng
+module Scenario = Afex_faultspace.Scenario
+module Outcome = Afex_injector.Outcome
+
+let src = Logs.Src.create "afex.remote" ~doc:"Remote node-manager dispatch"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type error =
+  | Transport of Transport.error
+  | Protocol of string
+  | Manager of string
+  | Exhausted of { attempts : int; last : string }
+
+let string_of_error = function
+  | Transport e -> Transport.string_of_error e
+  | Protocol m -> Printf.sprintf "protocol error: %s" m
+  | Manager m -> Printf.sprintf "manager error: %s" m
+  | Exhausted { attempts; last } ->
+      Printf.sprintf "gave up after %d attempts (last: %s)" attempts last
+
+(* ------------------------------------------------------------------ *)
+(* Dialing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  name : string;
+  dial : unit -> (Transport.t, Transport.error) result;
+  max_attempts : int;
+  backoff_ms : float;
+}
+
+let spec ?(max_attempts = 3) ?(backoff_ms = 50.0) ~name dial =
+  if max_attempts < 1 then invalid_arg "Remote_manager.spec: need at least one attempt";
+  { name; dial; max_attempts; backoff_ms }
+
+let tcp_spec ?recv_timeout_ms ?max_attempts ?backoff_ms ~host ~port () =
+  spec ?max_attempts ?backoff_ms
+    ~name:(Printf.sprintf "%s:%d" host port)
+    (fun () -> Transport.connect_tcp ?recv_timeout_ms ~host ~port ())
+
+(* ------------------------------------------------------------------ *)
+(* Client proxy                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  requests : int;
+  retries : int;
+  dials : int;
+  manager_errors : int;
+}
+
+type t = {
+  spec : spec;
+  total_blocks : int;
+  mutable conn : Transport.t option;
+  mutable seq : int;
+  mutable n_requests : int;
+  mutable n_retries : int;
+  mutable n_dials : int;
+  mutable n_manager_errors : int;
+}
+
+let create spec ~total_blocks =
+  {
+    spec;
+    total_blocks;
+    conn = None;
+    seq = 0;
+    n_requests = 0;
+    n_retries = 0;
+    n_dials = 0;
+    n_manager_errors = 0;
+  }
+
+let stats t =
+  {
+    requests = t.n_requests;
+    retries = t.n_retries;
+    dials = t.n_dials;
+    manager_errors = t.n_manager_errors;
+  }
+
+let name t = t.spec.name
+
+let drop_conn t =
+  match t.conn with
+  | Some c ->
+      c.Transport.close ();
+      t.conn <- None
+  | None -> ()
+
+let handshake (conn : Transport.t) =
+  match conn.send (Message.encode_hello ~version:Message.protocol_version) with
+  | Error e -> Error (Transport e)
+  | Ok () -> (
+      match conn.recv () with
+      | Error e -> Error (Transport e)
+      | Ok line -> (
+          match Message.decode_greeting line with
+          | Error m -> Error (Protocol m)
+          | Ok (Message.Reject reason) ->
+              Error (Protocol ("manager rejected the handshake: " ^ reason))
+          | Ok (Message.Welcome v) ->
+              if v = Message.protocol_version then Ok ()
+              else
+                Error
+                  (Protocol
+                     (Printf.sprintf
+                        "protocol version mismatch: manager speaks %d, client %d"
+                        v Message.protocol_version))))
+
+let connect t =
+  t.n_dials <- t.n_dials + 1;
+  match t.spec.dial () with
+  | Error e -> Error (Transport e)
+  | Ok conn -> (
+      match handshake conn with
+      | Ok () ->
+          t.conn <- Some conn;
+          Ok conn
+      | Error e ->
+          conn.Transport.close ();
+          Error e)
+
+let backoff t attempt =
+  if t.spec.backoff_ms > 0.0 then
+    Unix.sleepf (t.spec.backoff_ms *. (2.0 ** float_of_int (attempt - 1)) /. 1000.0)
+
+(* Read replies until the one matching [seq]: chaos can duplicate frames,
+   so stale sequence numbers are skipped rather than fatal. *)
+let rec await (conn : Transport.t) seq =
+  match conn.recv () with
+  | Error e -> Error (Transport.string_of_error e)
+  | Ok line -> (
+      match Message.decode_from_manager line with
+      | Error m -> Error ("undecodable reply: " ^ m)
+      | Ok (Message.Scenario_result r) ->
+          if r.Message.seq = seq then Ok (Message.Scenario_result r)
+          else if r.Message.seq < seq then await conn seq
+          else Error (Printf.sprintf "reply for future sequence %d" r.Message.seq)
+      | Ok (Message.Manager_error { seq = rseq; message }) ->
+          if rseq = seq then Ok (Message.Manager_error { seq = rseq; message })
+          else if rseq = -1 then
+            Error ("manager could not decode the request: " ^ message)
+          else await conn seq)
+
+let run_scenario t scenario =
+  t.n_requests <- t.n_requests + 1;
+  t.seq <- t.seq + 1;
+  let seq = t.seq in
+  let line = Message.encode_to_manager (Message.Run_scenario { seq; scenario }) in
+  let rec attempt n last =
+    if n > t.spec.max_attempts then
+      Error (Exhausted { attempts = t.spec.max_attempts; last })
+    else begin
+      if n > 1 then begin
+        t.n_retries <- t.n_retries + 1;
+        Log.debug (fun m ->
+            m "%s: retry %d/%d after %s" t.spec.name n t.spec.max_attempts last);
+        backoff t (n - 1)
+      end;
+      let conn =
+        match t.conn with Some c -> Ok c | None -> connect t
+      in
+      match conn with
+      | Error e ->
+          drop_conn t;
+          attempt (n + 1) (string_of_error e)
+      | Ok conn -> (
+          match conn.Transport.send line with
+          | Error e ->
+              drop_conn t;
+              attempt (n + 1) (Transport.string_of_error e)
+          | Ok () -> (
+              match await conn seq with
+              | Error m ->
+                  drop_conn t;
+                  attempt (n + 1) m
+              | Ok (Message.Manager_error { message; _ }) ->
+                  t.n_manager_errors <- t.n_manager_errors + 1;
+                  Error (Manager message)
+              | Ok (Message.Scenario_result r) -> (
+                  match Message.outcome_of_report ~total_blocks:t.total_blocks r with
+                  | Ok outcome -> Ok outcome
+                  | Error m ->
+                      drop_conn t;
+                      attempt (n + 1) ("unusable report: " ^ m))))
+    end
+  in
+  attempt 1 "never attempted"
+
+let close t =
+  (match t.conn with
+  | Some c ->
+      ignore (c.Transport.send (Message.encode_to_manager Message.Shutdown));
+      c.Transport.close ()
+  | None -> ());
+  t.conn <- None
+
+(* ------------------------------------------------------------------ *)
+(* Server loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_connection manager (conn : Transport.t) =
+  let result =
+    match conn.recv () with
+    | Error e -> Error (Transport e)
+    | Ok hello -> (
+        match Message.decode_hello hello with
+        | Error m ->
+            ignore (conn.send (Message.encode_reject ~reason:m));
+            Error (Protocol m)
+        | Ok v when v <> Message.protocol_version ->
+            let reason =
+              Printf.sprintf "unsupported protocol version %d (manager speaks %d)"
+                v Message.protocol_version
+            in
+            ignore (conn.send (Message.encode_reject ~reason));
+            Error (Protocol reason)
+        | Ok _ -> (
+            match conn.send (Message.encode_welcome ~version:Message.protocol_version) with
+            | Error e -> Error (Transport e)
+            | Ok () ->
+                let rec loop () =
+                  match conn.recv () with
+                  | Error Transport.Closed -> Ok ()
+                  | Error Transport.Timeout -> loop () (* idle client *)
+                  | Error e -> Error (Transport e)
+                  | Ok line -> (
+                      match Message.decode_to_manager line with
+                      | Error m -> (
+                          match
+                            conn.send
+                              (Message.encode_from_manager
+                                 (Message.Manager_error { seq = -1; message = m }))
+                          with
+                          | Ok () -> loop ()
+                          | Error e -> Error (Transport e))
+                      | Ok msg -> (
+                          match Node_manager.handle manager msg with
+                          | None -> Ok () (* shutdown *)
+                          | Some (reply, _elapsed) -> (
+                              match conn.send (Message.encode_from_manager reply) with
+                              | Ok () -> loop ()
+                              | Error e -> Error (Transport e))))
+                in
+                loop ()))
+  in
+  conn.Transport.close ();
+  result
+
+let serve_tcp ?(host = "127.0.0.1") ~port ~once executor =
+  match Transport.listen_tcp ~host ~port () with
+  | Error e -> Error (Transport e)
+  | Ok (listen_fd, actual_port) ->
+      Printf.printf "afex-manager listening on %s:%d (protocol v%d)\n%!" host
+        actual_port Message.protocol_version;
+      let rec accept_loop id =
+        match Transport.accept listen_fd with
+        | Error e ->
+            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+            Error (Transport e)
+        | Ok conn -> (
+            Log.info (fun m -> m "connection %d from %s" id conn.Transport.peer);
+            let manager = Node_manager.create ~id ~executor () in
+            let result = serve_connection manager conn in
+            (match result with
+            | Ok () ->
+                Log.info (fun m ->
+                    m "connection %d done: %d tests run" id
+                      (Node_manager.tests_run manager))
+            | Error e ->
+                Log.warn (fun m -> m "connection %d failed: %s" id (string_of_error e)));
+            if once then begin
+              (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+              Ok ()
+            end
+            else accept_loop (id + 1))
+      in
+      accept_loop 0
+
+(* ------------------------------------------------------------------ *)
+(* In-process loopback                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Loopback = struct
+  type server = {
+    executor : Afex.Executor.t;
+    name : string;
+    chaos_to_server : Transport.chaos option;
+    chaos_to_client : Transport.chaos option;
+    chaos_seed : int;
+    recv_timeout_ms : int option;
+    lock : Mutex.t;
+    mutable domains : unit Domain.t list;
+    mutable next_id : int;
+  }
+
+  let create ?chaos_to_server ?chaos_to_client ?(chaos_seed = 0)
+      ?recv_timeout_ms ?(name = "loopback") ~executor () =
+    {
+      executor;
+      name;
+      chaos_to_server;
+      chaos_to_client;
+      chaos_seed;
+      recv_timeout_ms;
+      lock = Mutex.create ();
+      domains = [];
+      next_id = 0;
+    }
+
+  (* Each connection gets its own RNG streams, so manglers are never
+     shared across domains and chaos runs replay from the seed. *)
+  let mangler chaos seed =
+    Option.map
+      (fun c -> Transport.chaos_mangler ~rng:(Rng.create seed) c)
+      chaos
+
+  let dial server () =
+    Mutex.lock server.lock;
+    let id = server.next_id in
+    server.next_id <- id + 1;
+    Mutex.unlock server.lock;
+    let mangle_a = mangler server.chaos_to_server (server.chaos_seed + (2 * id)) in
+    let mangle_b = mangler server.chaos_to_client (server.chaos_seed + (2 * id) + 1) in
+    let client_end, server_end =
+      Transport.pair ?recv_timeout_ms:server.recv_timeout_ms ?mangle_a ?mangle_b ()
+    in
+    let manager = Node_manager.create ~id ~executor:server.executor () in
+    let d = Domain.spawn (fun () -> ignore (serve_connection manager server_end)) in
+    Mutex.lock server.lock;
+    server.domains <- d :: server.domains;
+    Mutex.unlock server.lock;
+    Ok client_end
+
+  let spec ?max_attempts ?backoff_ms server =
+    spec ?max_attempts ?backoff_ms ~name:server.name (dial server)
+
+  let connections server =
+    Mutex.lock server.lock;
+    let n = server.next_id in
+    Mutex.unlock server.lock;
+    n
+
+  let shutdown server =
+    Mutex.lock server.lock;
+    let domains = server.domains in
+    server.domains <- [];
+    Mutex.unlock server.lock;
+    List.iter Domain.join domains
+end

@@ -1,0 +1,133 @@
+(** A node manager on the far side of a {!Transport} connection (§6.1):
+    the client-side proxy the dispatcher talks to, and the server loop
+    that puts a real {!Node_manager} behind the wire protocol.
+
+    The proxy owns reliability: a versioned handshake on every
+    connection, sequence-numbered request/reply matching (stale and
+    duplicated replies are skipped), bounded per-request retries with
+    exponential backoff, and reconnection on any transport fault. After
+    the retry budget is exhausted the request fails with a typed error —
+    the pool then requeues the scenario on a local worker, so a dead or
+    byzantine manager can slow a campaign down but never stall or corrupt
+    it. *)
+
+type error =
+  | Transport of Transport.error
+  | Protocol of string
+      (** handshake failure, version mismatch, or an undecodable reply *)
+  | Manager of string
+      (** the manager executed the scenario and reported a failure;
+          deterministic, so never retried *)
+  | Exhausted of { attempts : int; last : string }
+      (** retry budget spent; [last] is the final attempt's failure *)
+
+val string_of_error : error -> string
+
+(** {2 Dialing} *)
+
+type spec = {
+  name : string;
+  dial : unit -> (Transport.t, Transport.error) result;
+  max_attempts : int;  (** per-request attempts, including the first *)
+  backoff_ms : float;  (** base of the exponential reconnect backoff *)
+}
+
+val spec :
+  ?max_attempts:int ->
+  ?backoff_ms:float ->
+  name:string ->
+  (unit -> (Transport.t, Transport.error) result) ->
+  spec
+(** Defaults: 3 attempts, 50 ms base backoff. *)
+
+val tcp_spec :
+  ?recv_timeout_ms:int ->
+  ?max_attempts:int ->
+  ?backoff_ms:float ->
+  host:string ->
+  port:int ->
+  unit ->
+  spec
+(** [recv_timeout_ms] is the straggler timeout: a manager that holds a
+    scenario longer forfeits it (the request is retried, and ultimately
+    requeued locally by the pool). *)
+
+(** {2 The client proxy} *)
+
+type t
+
+val create : spec -> total_blocks:int -> t
+(** No I/O happens here: the first {!run_scenario} dials. [total_blocks]
+    sizes the coverage bitsets rebuilt from wire reports. *)
+
+type stats = {
+  requests : int;
+  retries : int;
+  dials : int;
+  manager_errors : int;
+}
+
+val stats : t -> stats
+val name : t -> string
+
+val run_scenario :
+  t -> Afex_faultspace.Scenario.t -> (Afex_injector.Outcome.t, error) result
+(** Ships the scenario, awaits the matching reply, rebuilds the full
+    outcome (coverage, fault, stacks, exact duration) so the explorer's
+    accounting is bit-identical to an in-process run. Bounded: every
+    failure path ends in reconnect-and-retry at most
+    [spec.max_attempts] times, then [Error]. *)
+
+val close : t -> unit
+(** Best-effort [Shutdown] to the manager, then closes. Idempotent. *)
+
+(** {2 The server side} *)
+
+val serve_connection : Node_manager.t -> Transport.t -> (unit, error) result
+(** Handshake, then decode requests / run them / reply until [Shutdown]
+    or the peer disconnects (both [Ok]). Requests that fail to decode are
+    answered with a [Manager_error] on sequence -1 and the connection
+    survives; receive timeouts while idle are tolerated. Always closes
+    the transport. *)
+
+val serve_tcp :
+  ?host:string ->
+  port:int ->
+  once:bool ->
+  Afex.Executor.t ->
+  (unit, error) result
+(** The [afex serve] entry point: listen (port 0 picks an ephemeral port,
+    announced on stdout as ["afex-manager listening on HOST:PORT"]),
+    accept connections and serve each with a fresh {!Node_manager} over
+    the given executor. [once] returns after the first connection ends. *)
+
+(** {2 In-process loopback}
+
+    A real server loop behind a real (socketpair) transport, with the
+    manager running on its own domain — the same code path as TCP minus
+    the network, used by tests, benches and examples. *)
+
+module Loopback : sig
+  type server
+
+  val create :
+    ?chaos_to_server:Transport.chaos ->
+    ?chaos_to_client:Transport.chaos ->
+    ?chaos_seed:int ->
+    ?recv_timeout_ms:int ->
+    ?name:string ->
+    executor:Afex.Executor.t ->
+    unit ->
+    server
+  (** [chaos_to_server] mangles request frames, [chaos_to_client] reply
+      frames; each connection derives fresh RNG streams from
+      [chaos_seed] (default 0), so chaos runs are reproducible. *)
+
+  val spec : ?max_attempts:int -> ?backoff_ms:float -> server -> spec
+  (** Each dial spawns a fresh manager on a new domain. *)
+
+  val connections : server -> int
+
+  val shutdown : server -> unit
+  (** Joins every connection domain. Close all clients first. *)
+end

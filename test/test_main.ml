@@ -9,6 +9,7 @@ let () =
       ("quality", Test_quality.suite);
       ("core", Test_core.suite);
       ("cluster", Test_cluster.suite);
+      ("transport", Test_transport.suite);
       ("pool", Test_pool.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);

@@ -1,0 +1,698 @@
+(* Tests for the remote-dispatch stack: frame codec, socketpair transport,
+   wire message codecs, the remote-manager proxy/server pair, and the
+   chaos (transport fault injection) harness — a fault-injection tool's
+   own transport gets tested under injected faults. *)
+
+module Transport = Afex_cluster.Transport
+module Message = Afex_cluster.Message
+module RM = Afex_cluster.Remote_manager
+module Node_manager = Afex_cluster.Node_manager
+module Pool = Afex_cluster.Pool
+module Config = Afex.Config
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+module Point = Afex_faultspace.Point
+module Scenario = Afex_faultspace.Scenario
+module Fault = Afex_injector.Fault
+module Outcome = Afex_injector.Outcome
+module Bitset = Afex_stats.Bitset
+module Rng = Afex_stats.Rng
+module Apache = Afex_simtarget.Apache
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let get_ok label = function
+  | Ok v -> v
+  | Error _ -> Alcotest.failf "%s: unexpected Error" label
+
+let is_error = function Error _ -> true | Ok _ -> false
+let executor () = Afex.Executor.of_target (Apache.target ())
+
+(* Valid scenarios for the apache target, deterministically sampled. *)
+let sample_scenarios n =
+  let exec = executor () in
+  let explorer =
+    Afex.Explorer.create (Config.random_search ~seed:99 ()) (Apache.space ()) exec
+  in
+  List.init n (fun _ ->
+      match Afex.Explorer.next explorer with
+      | Some p -> Afex.Explorer.scenario_for explorer p
+      | None -> Alcotest.fail "sample_scenarios: space exhausted")
+
+let outcome_equal (a : Outcome.t) (b : Outcome.t) =
+  Fault.equal a.Outcome.fault b.Outcome.fault
+  && a.Outcome.status = b.Outcome.status
+  && a.Outcome.triggered = b.Outcome.triggered
+  && Bitset.equal a.Outcome.coverage b.Outcome.coverage
+  && a.Outcome.injection_stack = b.Outcome.injection_stack
+  && a.Outcome.crash_stack = b.Outcome.crash_stack
+  && a.Outcome.duration_ms = b.Outcome.duration_ms
+
+let history (r : Session.result) =
+  List.map
+    (fun (c : Test_case.t) ->
+      (Point.key c.Test_case.point, Outcome.status_to_string c.Test_case.status,
+       c.Test_case.fitness))
+    r.Session.executed
+
+(* --- the frame codec --- *)
+
+let decode_all bytes =
+  let d = Transport.Frame.create () in
+  Transport.Frame.feed d bytes;
+  let rec go acc =
+    match Transport.Frame.next d with
+    | Ok (Some p) -> go (p :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  go []
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun payload ->
+      match decode_all (Transport.Frame.encode payload) with
+      | Ok [ p ] -> checks "payload" payload p
+      | Ok _ -> Alcotest.fail "expected exactly one frame"
+      | Error e -> Alcotest.failf "decode: %s" (Transport.string_of_error e))
+    [
+      "";
+      "x";
+      "hello world\n";
+      String.init 256 Char.chr;
+      String.make 100_000 'A';
+    ]
+
+let test_frame_incremental () =
+  (* One byte at a time: the decoder must tolerate any stream chunking. *)
+  let payload = "RESULT 7 P T 0 0x1p-3 \xc3\xa9" in
+  let bytes = Transport.Frame.encode payload in
+  let d = Transport.Frame.create () in
+  let got = ref None in
+  String.iter
+    (fun c ->
+      Transport.Frame.feed d (String.make 1 c);
+      match Transport.Frame.next d with
+      | Ok (Some p) -> got := Some p
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "decode: %s" (Transport.string_of_error e))
+    bytes;
+  checks "payload survives byte-wise delivery" payload
+    (Option.value ~default:"<none>" !got);
+  checki "nothing left over" 0 (Transport.Frame.pending d)
+
+let test_frame_multiple_per_feed () =
+  let payloads = [ "a"; ""; "third frame"; String.make 999 'z' ] in
+  let bytes = String.concat "" (List.map Transport.Frame.encode payloads) in
+  match decode_all bytes with
+  | Ok got -> checkb "all frames decoded in order" true (got = payloads)
+  | Error e -> Alcotest.failf "decode: %s" (Transport.string_of_error e)
+
+let test_frame_bad_magic () =
+  (match decode_all "XYZW garbage" with
+  | Error (Transport.Corrupt _) -> ()
+  | _ -> Alcotest.fail "garbage must be Corrupt");
+  (* Right first byte, wrong second: still caught. *)
+  let bytes = Transport.Frame.encode "ok" in
+  let broken = Bytes.of_string bytes in
+  Bytes.set broken 1 'Z';
+  match decode_all (Bytes.to_string broken) with
+  | Error (Transport.Corrupt _) -> ()
+  | _ -> Alcotest.fail "bad second magic byte must be Corrupt"
+
+let test_frame_oversized () =
+  (* A garbage length prefix must fail fast, not trigger a huge read. *)
+  let b = Buffer.create 16 in
+  Buffer.add_string b "AF";
+  Buffer.add_string b "\x7f\xff\xff\xff";
+  Buffer.add_string b "\x00\x00\x00\x00";
+  (match decode_all (Buffer.contents b) with
+  | Error (Transport.Frame_too_large _) -> ()
+  | _ -> Alcotest.fail "oversized declared length must be Frame_too_large");
+  checkb "encode rejects oversized payloads" true
+    (try
+       ignore (Transport.Frame.encode (String.make (Transport.max_frame + 1) 'x'));
+       false
+     with Invalid_argument _ -> true);
+  let a, b' = Transport.pair () in
+  (match a.Transport.send (String.make (Transport.max_frame + 1) 'x') with
+  | Error (Transport.Frame_too_large _) -> ()
+  | _ -> Alcotest.fail "send of an oversized payload must be a typed error");
+  a.Transport.close ();
+  b'.Transport.close ()
+
+let test_frame_checksum () =
+  let bytes = Bytes.of_string (Transport.Frame.encode "checksummed payload") in
+  (* Flip one payload bit. *)
+  let i = Bytes.length bytes - 3 in
+  Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 1));
+  match decode_all (Bytes.to_string bytes) with
+  | Error (Transport.Corrupt _) -> ()
+  | _ -> Alcotest.fail "bit flip must be a checksum mismatch"
+
+(* --- the socketpair transport --- *)
+
+let test_pair_roundtrip () =
+  let a, b = Transport.pair () in
+  let messages =
+    [ "plain"; ""; "newline\nin the middle"; "non-ASCII: r\xc3\xa9seau \xf0\x9f\x90\xab" ]
+  in
+  List.iter
+    (fun m ->
+      (match a.Transport.send m with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "send: %s" (Transport.string_of_error e));
+      checks "a -> b" m (get_ok "recv" (b.Transport.recv ())))
+    messages;
+  (match b.Transport.send "the other way" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" (Transport.string_of_error e));
+  checks "b -> a" "the other way" (get_ok "recv" (a.Transport.recv ()));
+  a.Transport.close ();
+  b.Transport.close ()
+
+let test_recv_timeout () =
+  let a, b = Transport.pair ~recv_timeout_ms:30 () in
+  (match a.Transport.recv () with
+  | Error Transport.Timeout -> ()
+  | _ -> Alcotest.fail "silent peer must be Timeout, not a hang");
+  a.Transport.close ();
+  b.Transport.close ()
+
+let test_closed_and_truncated_peer () =
+  let a, b = Transport.pair ~recv_timeout_ms:100 () in
+  b.Transport.close ();
+  (match a.Transport.recv () with
+  | Error Transport.Closed -> ()
+  | _ -> Alcotest.fail "orderly shutdown must be Closed");
+  (match a.Transport.send "into the void" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "send to a closed peer must fail");
+  a.Transport.close ();
+  (match a.Transport.recv () with
+  | Error Transport.Closed -> ()
+  | _ -> Alcotest.fail "recv on a closed transport must be Closed");
+  (* EOF in the middle of a frame is corruption, not a clean close. *)
+  let a, b =
+    Transport.pair ~recv_timeout_ms:100
+      ~mangle_b:(fun frame -> [ String.sub frame 0 5 ])
+      ()
+  in
+  (match b.Transport.send "will be cut short" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" (Transport.string_of_error e));
+  b.Transport.close ();
+  (match a.Transport.recv () with
+  | Error (Transport.Corrupt _) -> ()
+  | _ -> Alcotest.fail "EOF inside a frame must be Corrupt");
+  a.Transport.close ()
+
+let test_chaos_mangler_deterministic () =
+  let frame = Transport.Frame.encode "some payload" in
+  let chaos =
+    {
+      Transport.drop = 0.2;
+      duplicate = 0.3;
+      truncate = 0.2;
+      bitflip = 0.3;
+      garbage = 0.3;
+    }
+  in
+  let stream seed =
+    List.init 50 (fun _ ->
+        Transport.chaos_mangler ~rng:(Rng.create seed) chaos frame)
+    |> List.concat
+  in
+  checkb "same seed, same corruption" true (stream 7 = stream 7);
+  checkb "identity under no_chaos" true
+    (Transport.chaos_mangler ~rng:(Rng.create 1) Transport.no_chaos frame
+    = [ frame ]);
+  checkb "certain drop discards the frame" true
+    (Transport.chaos_mangler ~rng:(Rng.create 1)
+       { Transport.no_chaos with Transport.drop = 1.0 }
+       frame
+    = [])
+
+(* --- handshake codec --- *)
+
+let test_handshake_codec () =
+  checkb "hello round-trips" true
+    (Message.decode_hello (Message.encode_hello ~version:3) = Ok 3);
+  checkb "welcome round-trips" true
+    (Message.decode_greeting (Message.encode_welcome ~version:1)
+    = Ok (Message.Welcome 1));
+  (match Message.decode_greeting (Message.encode_reject ~reason:"v2 only\nsorry") with
+  | Ok (Message.Reject r) -> checks "reject reason survives" "v2 only\nsorry" r
+  | _ -> Alcotest.fail "reject must decode");
+  List.iter
+    (fun line ->
+      checkb (Printf.sprintf "malformed hello %S" line) true
+        (is_error (Message.decode_hello line)))
+    [ ""; "HELLO"; "HELLO afex"; "HELLO afex x"; "HELLO smtp 1"; "RUN 1 a b" ];
+  List.iter
+    (fun line ->
+      checkb (Printf.sprintf "malformed greeting %S" line) true
+        (is_error (Message.decode_greeting line)))
+    [ ""; "WELCOME"; "WELCOME afex nope"; "HELLO afex 1" ]
+
+let test_serve_rejects_version_mismatch () =
+  let client, server = Transport.pair ~recv_timeout_ms:2000 () in
+  let manager = Node_manager.create ~id:0 ~executor:(executor ()) () in
+  let d = Domain.spawn (fun () -> RM.serve_connection manager server) in
+  (match client.Transport.send (Message.encode_hello ~version:999) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "send: %s" (Transport.string_of_error e));
+  (match Message.decode_greeting (get_ok "greeting" (client.Transport.recv ())) with
+  | Ok (Message.Reject _) -> ()
+  | _ -> Alcotest.fail "future protocol version must be rejected");
+  client.Transport.close ();
+  checkb "server reported the protocol error" true
+    (match Domain.join d with Error (RM.Protocol _) -> true | _ -> false)
+
+let test_wire_session_survives_garbage () =
+  (* Full exchange against a live server domain: handshake, a garbage
+     line (answered, connection survives), a real scenario, shutdown. *)
+  let client, server = Transport.pair ~recv_timeout_ms:2000 () in
+  let manager = Node_manager.create ~id:0 ~executor:(executor ()) () in
+  let d = Domain.spawn (fun () -> RM.serve_connection manager server) in
+  let send line =
+    match client.Transport.send line with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "send: %s" (Transport.string_of_error e)
+  in
+  send (Message.encode_hello ~version:Message.protocol_version);
+  (match Message.decode_greeting (get_ok "greeting" (client.Transport.recv ())) with
+  | Ok (Message.Welcome v) -> checki "version" Message.protocol_version v
+  | _ -> Alcotest.fail "expected WELCOME");
+  send "complete nonsense";
+  (match Message.decode_from_manager (get_ok "reply" (client.Transport.recv ())) with
+  | Ok (Message.Manager_error { seq; _ }) -> checki "undecodable -> seq -1" (-1) seq
+  | _ -> Alcotest.fail "garbage must be answered with a manager error");
+  let scenario = List.hd (sample_scenarios 1) in
+  send (Message.encode_to_manager (Message.Run_scenario { seq = 4; scenario }));
+  (match Message.decode_from_manager (get_ok "reply" (client.Transport.recv ())) with
+  | Ok (Message.Scenario_result r) ->
+      checki "matching seq" 4 r.Message.seq;
+      checki "managers send new_blocks 0" 0 r.Message.new_blocks
+  | _ -> Alcotest.fail "expected a scenario result");
+  send (Message.encode_to_manager Message.Shutdown);
+  checkb "clean server exit" true (Domain.join d = Ok ());
+  checki "the manager ran exactly one test" 1 (Node_manager.tests_run manager);
+  client.Transport.close ()
+
+(* --- from_manager codec: property round-trip --- *)
+
+let statuses = [| Outcome.Passed; Outcome.Test_failed; Outcome.Crashed; Outcome.Hung |]
+
+let random_report rng =
+  let funcs = [| "read"; "write"; "malloc"; "\xc3\xa9crire_r\xc3\xa9seau"; "select" |] in
+  let errnos = [| "EIO"; "ENOMEM"; "EINTR" |] in
+  let frames =
+    [|
+      "";
+      "main (a.c:1)";
+      "frame with spaces";
+      "comma,separated,frame";
+      "embedded\nnewline";
+      "100% r\xc3\xa9seau";
+      "tab\there";
+    |]
+  in
+  let pick a = a.(Rng.int rng (Array.length a)) in
+  let stack () =
+    match Rng.int rng 5 with
+    | 0 -> None
+    | 1 -> Some []
+    | 2 -> Some [ "" ]
+    | _ -> Some (List.init (1 + Rng.int rng 4) (fun _ -> pick frames))
+  in
+  {
+    Message.seq = Rng.int rng 100_000;
+    status = pick statuses;
+    triggered = Rng.bernoulli rng 0.5;
+    new_blocks = Rng.int rng 50;
+    fault =
+      Fault.make ~test_id:(Rng.int rng 50) ~func:(pick funcs)
+        ~call_number:(Rng.int rng 6) ~errno:(pick errnos)
+        ~retval:(Rng.int rng 3 - 1) ();
+    coverage =
+      List.sort_uniq compare (List.init (Rng.int rng 12) (fun _ -> Rng.int rng 400));
+    injection_stack = stack ();
+    crash_stack = stack ();
+    duration_ms = (if Rng.bernoulli rng 0.1 then 0.0 else Rng.float rng 500.0);
+  }
+
+let test_from_manager_roundtrip_property () =
+  let rng = Rng.create 2026 in
+  for i = 1 to 200 do
+    let r = random_report rng in
+    let line = Message.encode_from_manager (Message.Scenario_result r) in
+    checkb "wire lines are single lines" false (String.contains line '\n');
+    match Message.decode_from_manager line with
+    | Ok (Message.Scenario_result r') ->
+        if r' <> r then
+          Alcotest.failf "case %d: report did not round-trip:\n%s" i line
+    | Ok (Message.Manager_error _) ->
+        Alcotest.failf "case %d decoded as an error" i
+    | Error m -> Alcotest.failf "case %d: %s (%s)" i m line
+  done
+
+let test_manager_error_roundtrip () =
+  List.iter
+    (fun (seq, message) ->
+      let line =
+        Message.encode_from_manager (Message.Manager_error { seq; message })
+      in
+      match Message.decode_from_manager line with
+      | Ok (Message.Manager_error { seq = seq'; message = message' }) ->
+          checki "seq" seq seq';
+          checks "message" message message'
+      | _ -> Alcotest.failf "manager error %S did not round-trip" message)
+    [
+      (1, "plain failure");
+      (-1, "could not decode the request");
+      (7, "");
+      (12, "multi\nline\nerror");
+      (3, "r\xc3\xa9seau d\xc3\xa9connect\xc3\xa9 100%");
+    ]
+
+let test_from_manager_malformed () =
+  List.iter
+    (fun line ->
+      checkb (Printf.sprintf "reject %S" line) true
+        (is_error (Message.decode_from_manager line)))
+    [
+      "";
+      "RESULT";
+      "RESULT 1 P";
+      "RESULT x P T 0 0x1p1 f @0: @0: @0:";  (* bad seq *)
+      "RESULT 1 Q T 0 0x1p1 f @0: @0: @0:";  (* unknown status token *)
+      "RESULT 1 P X 0 0x1p1 f @0: @0: @0:";  (* bad triggered flag *)
+      "RESULT 1 P T zz 0x1p1 f @0: @0: @0:"; (* bad new_blocks *)
+      "RESULT 1 P T 0 fast f @0: @0: @0:";   (* bad duration *)
+      "RESULT 1 P T 0 0x1p1 f 3-1 @0: @0:";  (* descending coverage range *)
+      "RESULT 1 P T 0 0x1p1 f -3 @0: @0:";   (* negative coverage *)
+      "RESULT 1 P T 0 0x1p1 f 0,1 @nope: @0:"; (* bad stack count *)
+      "ERROR";
+      "ERROR x boom";
+      "HELLO afex 1";
+      "a perfectly ordinary sentence";
+    ]
+
+let test_to_manager_total () =
+  (* Satellite: decode_to_manager must reject anything malformed. *)
+  let scenario = List.hd (sample_scenarios 1) in
+  let line = Message.encode_to_manager (Message.Run_scenario { seq = 9; scenario }) in
+  (match Message.decode_to_manager line with
+  | Ok (Message.Run_scenario r) ->
+      checki "seq" 9 r.seq;
+      checks "scenario" (Scenario.to_string scenario) (Scenario.to_string r.scenario)
+  | _ -> Alcotest.fail "RUN must round-trip");
+  checkb "shutdown round-trips" true
+    (Message.decode_to_manager (Message.encode_to_manager Message.Shutdown)
+    = Ok Message.Shutdown);
+  List.iter
+    (fun line ->
+      checkb
+        (Printf.sprintf "reject %S" (String.sub line 0 (min 30 (String.length line))))
+        true
+        (is_error (Message.decode_to_manager line)))
+    [
+      "";
+      " ";
+      "RUN";
+      "RUN 1";
+      "RUN x read 1";
+      "RUN -2 read 1";
+      "WALK 1 read 1";
+      "RUN 1 " ^ String.make (Message.max_line + 1) 'a';
+    ]
+
+let test_coverage_ranges () =
+  let base = random_report (Rng.create 5) in
+  List.iter
+    (fun coverage ->
+      let r = { base with Message.coverage } in
+      match Message.decode_from_manager
+              (Message.encode_from_manager (Message.Scenario_result r))
+      with
+      | Ok (Message.Scenario_result r') ->
+          checkb "coverage round-trips" true (r'.Message.coverage = coverage)
+      | _ -> Alcotest.fail "coverage variant did not decode")
+    [
+      [];
+      [ 0 ];
+      [ 399 ];
+      [ 0; 1; 2; 3; 4 ];
+      [ 7; 9; 11 ];
+      [ 0; 1; 2; 50; 51; 52; 53; 400 ];
+    ]
+
+let test_outcome_report_roundtrip () =
+  let exec = executor () in
+  let total_blocks = exec.Afex.Executor.total_blocks in
+  List.iter
+    (fun scenario ->
+      let outcome = exec.Afex.Executor.run_scenario scenario in
+      let report = Message.report_of_outcome ~seq:1 outcome in
+      match Message.outcome_of_report ~total_blocks report with
+      | Ok rebuilt ->
+          checkb "outcome rebuilt bit-for-bit" true (outcome_equal outcome rebuilt)
+      | Error m -> Alcotest.failf "outcome_of_report: %s" m)
+    (sample_scenarios 10);
+  (* Coverage indices outside the explorer's bitset must not crash. *)
+  let report =
+    { (random_report (Rng.create 3)) with Message.coverage = [ 0; 99_999 ] }
+  in
+  checkb "out-of-range coverage is a typed error" true
+    (is_error (Message.outcome_of_report ~total_blocks:100 report))
+
+(* --- the remote-manager proxy over the loopback --- *)
+
+let test_loopback_outcome_equality () =
+  let exec = executor () in
+  let lb = RM.Loopback.create ~executor:exec () in
+  let rm = RM.create (RM.Loopback.spec lb) ~total_blocks:exec.Afex.Executor.total_blocks in
+  List.iter
+    (fun scenario ->
+      let remote = get_ok "run_scenario" (RM.run_scenario rm scenario) in
+      let local = exec.Afex.Executor.run_scenario scenario in
+      checkb "remote outcome equals local outcome" true (outcome_equal remote local))
+    (sample_scenarios 20);
+  let s = RM.stats rm in
+  checki "20 requests" 20 s.RM.requests;
+  checki "no retries on a clean wire" 0 s.RM.retries;
+  checki "one dial" 1 s.RM.dials;
+  RM.close rm;
+  RM.Loopback.shutdown lb;
+  checki "exactly one connection was made" 1 (RM.Loopback.connections lb)
+
+let test_loopback_manager_error_not_retried () =
+  let failing =
+    Afex.Executor.of_scenario_fn ~total_blocks:10 ~description:"always fails"
+      (fun _ -> invalid_arg "executor exploded")
+  in
+  let lb = RM.Loopback.create ~executor:failing () in
+  let rm = RM.create (RM.Loopback.spec lb) ~total_blocks:10 in
+  let scenario = List.hd (sample_scenarios 1) in
+  (match RM.run_scenario rm scenario with
+  | Error (RM.Manager m) ->
+      checkb "the manager's message survives" true
+        (m = "executor exploded")
+  | _ -> Alcotest.fail "a manager-side failure must surface as Manager");
+  let s = RM.stats rm in
+  checki "manager errors are deterministic: no retry" 0 s.RM.retries;
+  checki "counted" 1 s.RM.manager_errors;
+  RM.close rm;
+  RM.Loopback.shutdown lb
+
+(* --- chaos: the dispatcher under transport fault injection --- *)
+
+let mild_chaos =
+  {
+    Transport.drop = 0.15;
+    duplicate = 0.15;
+    truncate = 0.05;
+    bitflip = 0.1;
+    garbage = 0.1;
+  }
+
+let run_under_chaos ~chaos_to_server ~chaos_to_client ~seed =
+  let exec = executor () in
+  let lb =
+    RM.Loopback.create ?chaos_to_server ?chaos_to_client ~chaos_seed:seed
+      ~recv_timeout_ms:40 ~executor:exec ()
+  in
+  let rm =
+    RM.create
+      (RM.Loopback.spec ~max_attempts:10 ~backoff_ms:0.2 lb)
+      ~total_blocks:exec.Afex.Executor.total_blocks
+  in
+  let scenarios = sample_scenarios 15 in
+  List.iter
+    (fun scenario ->
+      let remote = get_ok "run under chaos" (RM.run_scenario rm scenario) in
+      let local = exec.Afex.Executor.run_scenario scenario in
+      checkb "chaos never corrupts an accepted outcome" true
+        (outcome_equal remote local))
+    scenarios;
+  let s = RM.stats rm in
+  RM.close rm;
+  RM.Loopback.shutdown lb;
+  s
+
+let test_chaos_on_requests () =
+  let s =
+    run_under_chaos
+      ~chaos_to_server:(Some { mild_chaos with Transport.bitflip = 0.2 })
+      ~chaos_to_client:None ~seed:11
+  in
+  checki "all requests accounted" 15 s.RM.requests;
+  checkb "corruption forced retries" true (s.RM.retries > 0);
+  checkb "reconnects happened" true (s.RM.dials > 1)
+
+let test_chaos_on_replies () =
+  let s =
+    run_under_chaos ~chaos_to_server:None
+      ~chaos_to_client:(Some mild_chaos) ~seed:23
+  in
+  checki "all requests accounted" 15 s.RM.requests;
+  checkb "corrupted replies forced retries" true (s.RM.retries > 0)
+
+let test_chaos_blackout_is_bounded () =
+  (* A wire that delivers nothing: the proxy must fail with a typed error
+     after its retry budget — never hang, never fake an outcome. *)
+  let exec = executor () in
+  let lb =
+    RM.Loopback.create
+      ~chaos_to_server:{ Transport.no_chaos with Transport.drop = 1.0 }
+      ~recv_timeout_ms:30 ~executor:exec ()
+  in
+  let rm =
+    RM.create
+      (RM.Loopback.spec ~max_attempts:3 ~backoff_ms:0.2 lb)
+      ~total_blocks:exec.Afex.Executor.total_blocks
+  in
+  (match RM.run_scenario rm (List.hd (sample_scenarios 1)) with
+  | Error (RM.Exhausted { attempts; _ }) -> checki "budget respected" 3 attempts
+  | Error _ -> Alcotest.fail "expected Exhausted after the retry budget"
+  | Ok _ -> Alcotest.fail "a dead wire cannot produce an outcome");
+  RM.close rm;
+  RM.Loopback.shutdown lb
+
+(* --- the pool with remote workers --- *)
+
+let pool_history ?remotes ~jobs ~seed () =
+  let exec = executor () in
+  let result, stats =
+    Pool.run ?remotes ~jobs ~batch_size:16 ~iterations:150
+      (Config.fitness_guided ~seed ())
+      (Apache.space ()) (Pool.Pure exec)
+  in
+  (history result, stats)
+
+let test_pool_remote_only_matches_local () =
+  let exec = executor () in
+  let lb = RM.Loopback.create ~executor:exec () in
+  let remote, stats =
+    pool_history ~remotes:[ RM.Loopback.spec lb ] ~jobs:0 ~seed:41 ()
+  in
+  RM.Loopback.shutdown lb;
+  let local, _ = pool_history ~jobs:1 ~seed:41 () in
+  checkb "remote-only history equals in-process history" true (remote = local);
+  checkb "everything went over the wire" true (stats.Pool.remote_runs > 0);
+  checki "no fallbacks on a clean wire" 0 stats.Pool.remote_fallbacks
+
+let test_pool_mixed_matches_local () =
+  let exec = executor () in
+  let lb1 = RM.Loopback.create ~name:"lb1" ~executor:exec () in
+  let lb2 = RM.Loopback.create ~name:"lb2" ~executor:exec () in
+  let mixed, stats =
+    pool_history
+      ~remotes:[ RM.Loopback.spec lb1; RM.Loopback.spec lb2 ]
+      ~jobs:2 ~seed:41 ()
+  in
+  RM.Loopback.shutdown lb1;
+  RM.Loopback.shutdown lb2;
+  let local, _ = pool_history ~jobs:1 ~seed:41 () in
+  checkb "mixed local+remote history equals in-process history" true
+    (mixed = local);
+  checkb "remotes participated" true (stats.Pool.remote_runs > 0)
+
+let test_pool_chaotic_remote_matches_local () =
+  let exec = executor () in
+  let lb =
+    RM.Loopback.create ~chaos_to_server:mild_chaos ~chaos_to_client:mild_chaos
+      ~chaos_seed:17 ~recv_timeout_ms:40 ~executor:exec ()
+  in
+  let chaotic, _ =
+    pool_history
+      ~remotes:[ RM.Loopback.spec ~max_attempts:8 ~backoff_ms:0.2 lb ]
+      ~jobs:1 ~seed:41 ()
+  in
+  RM.Loopback.shutdown lb;
+  let local, _ = pool_history ~jobs:1 ~seed:41 () in
+  checkb "a byzantine wire cannot change the explored history" true
+    (chaotic = local)
+
+let test_pool_dead_remote_falls_back () =
+  let dead =
+    RM.spec ~max_attempts:2 ~backoff_ms:0.1 ~name:"unreachable" (fun () ->
+        Error (Transport.Io "connection refused"))
+  in
+  let with_dead, stats = pool_history ~remotes:[ dead ] ~jobs:1 ~seed:41 () in
+  let local, _ = pool_history ~jobs:1 ~seed:41 () in
+  checkb "every scenario was recovered locally" true (with_dead = local);
+  checki "nothing ran over the wire" 0 stats.Pool.remote_runs;
+  checkb "the fallback path was exercised" true (stats.Pool.remote_fallbacks > 0)
+
+let test_pool_rejects_bad_worker_mix () =
+  let exec () = Pool.Pure (executor ()) in
+  checkb "negative jobs rejected" true
+    (try ignore (Pool.create ~jobs:(-1) (exec ())); false
+     with Invalid_argument _ -> true);
+  checkb "zero workers rejected" true
+    (try ignore (Pool.create ~jobs:0 (exec ())); false
+     with Invalid_argument _ -> true);
+  let lb = RM.Loopback.create ~executor:(executor ()) () in
+  let pool = Pool.create ~remotes:[ RM.Loopback.spec lb ] ~jobs:0 (exec ()) in
+  checki "jobs 0 with a remote is a valid pool" 0 (Pool.jobs pool);
+  Pool.shutdown pool;
+  RM.Loopback.shutdown lb
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("frame round-trip", test_frame_roundtrip);
+      ("frame survives byte-wise delivery", test_frame_incremental);
+      ("multiple frames per feed", test_frame_multiple_per_feed);
+      ("bad magic is corrupt", test_frame_bad_magic);
+      ("oversized frames are typed errors", test_frame_oversized);
+      ("checksum catches bit flips", test_frame_checksum);
+      ("socketpair round-trip", test_pair_roundtrip);
+      ("receive timeout", test_recv_timeout);
+      ("closed and truncated peers", test_closed_and_truncated_peer);
+      ("chaos mangler is seeded", test_chaos_mangler_deterministic);
+      ("handshake codec", test_handshake_codec);
+      ("version mismatch is rejected", test_serve_rejects_version_mismatch);
+      ("wire session survives garbage", test_wire_session_survives_garbage);
+      ("from_manager round-trip (property)", test_from_manager_roundtrip_property);
+      ("manager errors round-trip", test_manager_error_roundtrip);
+      ("from_manager rejects malformed lines", test_from_manager_malformed);
+      ("to_manager is total", test_to_manager_total);
+      ("coverage range codec", test_coverage_ranges);
+      ("outcome <-> report round-trip", test_outcome_report_roundtrip);
+      ("loopback outcome equality", test_loopback_outcome_equality);
+      ("manager errors are not retried", test_loopback_manager_error_not_retried);
+      ("chaos on requests", test_chaos_on_requests);
+      ("chaos on replies", test_chaos_on_replies);
+      ("total blackout is bounded", test_chaos_blackout_is_bounded);
+      ("pool: remote-only matches local", test_pool_remote_only_matches_local);
+      ("pool: mixed matches local", test_pool_mixed_matches_local);
+      ("pool: chaotic remote matches local", test_pool_chaotic_remote_matches_local);
+      ("pool: dead remote falls back", test_pool_dead_remote_falls_back);
+      ("pool: rejects bad worker mix", test_pool_rejects_bad_worker_mix);
+    ]
