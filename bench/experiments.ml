@@ -27,6 +27,7 @@ module Table = Afex_report.Table
 module Figure = Afex_report.Figure
 module Simulation = Afex_cluster.Simulation
 module Pool = Afex_cluster.Pool
+module Async_executor = Afex_cluster.Async_executor
 module Remote_manager = Afex_cluster.Remote_manager
 
 let section title =
@@ -709,8 +710,106 @@ let remote ?(iterations = 1500) () =
   note "same history for a fixed seed."
 
 (* ------------------------------------------------------------------ *)
-(* Ablations of AFEX design choices (DESIGN.md)                        *)
+(* Async executor: overlapping latency-bound tests on one domain       *)
 (* ------------------------------------------------------------------ *)
+
+let async ?(iterations = 400) ?(inflight_list = [ 1; 4; 8; 32 ]) () =
+  section "Async executor: latency-bound target, one domain, --inflight N";
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let base = Afex.Executor.of_target target in
+  (* Every test gets a deterministic simulated service time with a 2 ms
+     mean — the same order as the §7.7 dispatch overhead, and the regime
+     where a real fork/exec'd target spends its wall-clock waiting rather
+     than computing. The blocking baseline pays each latency in sequence;
+     the event loop overlaps up to [inflight] of them. *)
+  let dist = Target.Uniform { lo = 1.0; hi = 3.0 } in
+  let model = Target.latency_model ~seed:31 dist in
+  let mean = Target.mean_latency_ms model in
+  note "latency model: %s (mean %.2f ms/test, seeded => replayable)"
+    (Target.latency_dist_to_string dist)
+    mean;
+  let delay_ms scenario =
+    Target.latency_ms model (Afex_faultspace.Scenario.to_string scenario)
+  in
+  let async_exec () = Afex.Executor.delayed ~delay_ms base in
+  let config () = Config.fitness_guided ~seed:2718 () in
+  let history (r : Session.result) =
+    List.map
+      (fun (c : Test_case.t) -> Afex_faultspace.Point.key c.Test_case.point)
+      r.Session.executed
+  in
+  let measure name ~inflight pool_exec =
+    let pool = Pool.create ~inflight ~jobs:1 pool_exec in
+    let result, stats = Pool.session ~iterations pool (config ()) sub in
+    let astats = Pool.async_stats pool in
+    Pool.shutdown pool;
+    (name, inflight, result, stats, astats)
+  in
+  let blocking =
+    measure "blocking worker" ~inflight:1
+      (Pool.Pure (Afex.Executor.sync_of_async (async_exec ())))
+  in
+  let runs =
+    blocking
+    :: List.map
+         (fun inflight ->
+           measure
+             (Printf.sprintf "inflight %d" inflight)
+             ~inflight
+             (Pool.Async (async_exec ())))
+         inflight_list
+  in
+  let _, _, r_blocking, s_blocking, _ = blocking in
+  print_string
+    (Table.render
+       ~headers:
+         [
+           "mode"; "wall (s)"; "tests/s"; "speedup"; "max in flight";
+           "history = blocking";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, _, (r : Session.result), (s : Pool.stats), astats) ->
+              [
+                name;
+                Printf.sprintf "%.2f" (s.Pool.wall_ms /. 1000.0);
+                Printf.sprintf "%.0f"
+                  (1000.0 *. float_of_int r.Session.iterations /. s.Pool.wall_ms);
+                Printf.sprintf "%.2fx" (s_blocking.Pool.wall_ms /. s.Pool.wall_ms);
+                (match astats with
+                | Some a -> string_of_int a.Async_executor.max_inflight
+                | None -> "-");
+                (if history r = history r_blocking then "yes" else "NO");
+              ])
+            runs)
+       ());
+  note "";
+  (* Per-test event-loop overhead: what the wall clock costs beyond the
+     perfectly-overlapped latency floor, vs the 2 ms/test messaging
+     overhead the §7.7 discrete-event model charges for dispatch. *)
+  List.iter
+    (fun (name, inflight, _, (s : Pool.stats), astats) ->
+      match astats with
+      | None -> ()
+      | Some a ->
+          let executed = float_of_int s.Pool.executed in
+          let floor_ms = executed *. mean /. float_of_int inflight in
+          let overhead = (s.Pool.wall_ms -. floor_ms) /. executed in
+          note
+            "  %-11s: %+.3f ms/test over the latency floor (%d wakeups; \
+             \u{00A7}7.7 model charges %.1f ms/test for dispatch)"
+            name overhead a.Async_executor.wakeups
+            Simulation.default_config.Simulation.dispatch_ms)
+    runs;
+  note "";
+  note "Every history cell must read `yes`: completions merge in submission";
+  note "order, so the campaign replays bit-identically at any concurrency.";
+  note "Expected shape: speedup approaches the window size while latency";
+  note "dominates, then saturates once the overlapped latency floor drops";
+  note "under the loop's own bookkeeping; >=3x at inflight 8.";
+  note "(Paper \u{00A7}7.7: one explorer saturates ~8,500 tests/s; keeping many";
+  note "slow tests in flight per node is how a small cluster reaches it.)"
 
 let ablation ?(iterations = 1000) () =
   section "Ablation: AFEX design choices (Apache httpd, 1,000 iterations)";

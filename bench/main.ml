@@ -16,6 +16,7 @@ let experiments =
     ("scaling", fun () -> Experiments.scaling ());
     ("pool", fun () -> Experiments.pool ());
     ("remote", fun () -> Experiments.remote ());
+    ("async", fun () -> Experiments.async ());
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());

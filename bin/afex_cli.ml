@@ -205,8 +205,26 @@ let explore_cmd =
     in
     Arg.(value & opt_all string [] & info [ "manager" ] ~docv:"HOST:PORT" ~doc)
   in
+  let inflight_arg =
+    let doc =
+      "Keep up to $(docv) tests in flight on a single-domain event loop — \
+       the right knob for latency-bound targets ($(b,--latency), slow \
+       remote managers), where workers wait instead of compute. Requires \
+       $(b,--jobs) 1. The explored history is identical at every $(docv)."
+    in
+    Arg.(value & opt int 1 & info [ "inflight" ] ~docv:"N" ~doc)
+  in
+  let latency_arg =
+    let doc =
+      "Simulate a slow target: each test completes only after a seeded, \
+       per-scenario latency drawn from $(docv) — one of fixed:MS, \
+       uniform:LO-HI, exp:MEAN, bimodal:FAST,SLOW,SHARE (milliseconds). \
+       Deterministic given the session seed, so campaigns replay exactly."
+    in
+    Arg.(value & opt (some string) None & info [ "latency" ] ~docv:"DIST" ~doc)
+  in
   let run target strategy iterations seed feedback top replay_out multi seed_analysis
-      csv_out json_out assess jobs batch managers verbosity =
+      csv_out json_out assess jobs batch managers inflight latency verbosity =
     setup_logging verbosity;
     let specs =
       List.map
@@ -226,6 +244,25 @@ let explore_cmd =
       prerr_endline "afex: --batch must be at least 1";
       exit 2
     end;
+    if inflight < 1 then begin
+      prerr_endline "afex: --inflight must be at least 1";
+      exit 2
+    end;
+    if inflight > 1 && jobs > 1 then begin
+      prerr_endline
+        "afex: --inflight multiplexes on a single domain; use --jobs 1 with it";
+      exit 2
+    end;
+    let latency_model =
+      match latency with
+      | None -> None
+      | Some s -> (
+          match Afex_simtarget.Target.latency_dist_of_string s with
+          | Ok dist -> Some (Afex_simtarget.Target.latency_model ~seed dist)
+          | Error e ->
+              prerr_endline ("afex: --latency: " ^ e);
+              exit 2)
+    in
     match lookup_target target with
     | Error e ->
         prerr_endline e;
@@ -256,13 +293,25 @@ let explore_cmd =
         let executor =
           if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
         in
+        let pool_executor =
+          match latency_model with
+          | None -> Afex_cluster.Pool.Pure executor
+          | Some model ->
+              Afex_cluster.Pool.Async
+                (Afex.Executor.delayed
+                   ~delay_ms:(fun scenario ->
+                     Afex_simtarget.Target.latency_ms model
+                       (Afex_faultspace.Scenario.to_string scenario))
+                   executor)
+        in
         let result, pool_stats =
-          if jobs = 1 && batch = 1 && specs = [] then
-            (Afex.Session.run ~iterations config sub executor, None)
+          if
+            jobs = 1 && batch = 1 && specs = [] && inflight = 1
+            && latency_model = None
+          then (Afex.Session.run ~iterations config sub executor, None)
           else begin
             let pool =
-              Afex_cluster.Pool.create ~remotes:specs ~jobs
-                (Afex_cluster.Pool.Pure executor)
+              Afex_cluster.Pool.create ~remotes:specs ~inflight ~jobs pool_executor
             in
             let result, stats =
               Fun.protect
@@ -278,6 +327,7 @@ let explore_cmd =
         (match pool_stats with
         | None -> ()
         | Some (s, remote_stats) ->
+            if inflight > 1 then Format.printf "async: %d in flight@." inflight;
             Format.printf
               "pool: %d jobs, %d batches, %d executed, %d cache hits, %.0f ms wall \
                (%.0f tests/s)@."
@@ -338,7 +388,8 @@ let explore_cmd =
     Term.(
       const run $ target_arg $ strategy_arg $ iterations_arg $ seed_arg $ feedback_arg
       $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
-      $ assess_arg $ jobs_arg $ batch_arg $ manager_arg $ verbose_arg)
+      $ assess_arg $ jobs_arg $ batch_arg $ manager_arg $ inflight_arg $ latency_arg
+      $ verbose_arg)
 
 (* --- afex serve --- *)
 
@@ -364,7 +415,15 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "multi" ] ~doc)
   in
-  let run target host port once multi verbosity =
+  let latency_arg =
+    let doc =
+      "Serve a slow target: delay each test by a seeded per-scenario latency \
+       drawn from $(docv) (same syntax as $(b,explore --latency)). Pair with \
+       $(b,explore --inflight) to exercise request pipelining."
+    in
+    Arg.(value & opt (some string) None & info [ "latency" ] ~docv:"DIST" ~doc)
+  in
+  let run target host port once multi latency verbosity =
     setup_logging verbosity;
     match lookup_target target with
     | Error e ->
@@ -373,6 +432,23 @@ let serve_cmd =
     | Ok (t, _) -> (
         let executor =
           if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
+        in
+        let executor =
+          match latency with
+          | None -> executor
+          | Some s -> (
+              match Afex_simtarget.Target.latency_dist_of_string s with
+              | Error e ->
+                  prerr_endline ("afex: --latency: " ^ e);
+                  exit 2
+              | Ok dist ->
+                  let model = Afex_simtarget.Target.latency_model dist in
+                  Afex.Executor.sync_of_async
+                    (Afex.Executor.delayed
+                       ~delay_ms:(fun scenario ->
+                         Afex_simtarget.Target.latency_ms model
+                           (Afex_faultspace.Scenario.to_string scenario))
+                       executor))
         in
         match Afex_cluster.Remote_manager.serve_tcp ~host ~port ~once executor with
         | Ok () -> ()
@@ -386,7 +462,9 @@ let serve_cmd =
        ~doc:
          "Run a node manager serving fault scenarios over TCP (the AFEX wire \
           protocol); point $(b,explore --manager) at it")
-    Term.(const run $ target_arg $ host_arg $ port_arg $ once_arg $ multi_arg $ verbose_arg)
+    Term.(
+      const run $ target_arg $ host_arg $ port_arg $ once_arg $ multi_arg
+      $ latency_arg $ verbose_arg)
 
 (* --- afex inject --- *)
 

@@ -1,0 +1,425 @@
+module Outcome = Afex_injector.Outcome
+module Pipelined = Remote_manager.Pipelined
+
+let src = Logs.Src.create "afex.async" ~doc:"Single-domain async I/O executor"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Timer wheel                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Timer_wheel = struct
+  type 'a entry = {
+    deadline : float;
+    order : int;
+    payload : 'a;
+    mutable cancelled : bool;
+  }
+
+  type 'a t = {
+    granularity_ms : float;
+    slots : 'a entry list array;
+    mutable pending : int;
+    mutable order : int;
+    mutable now : float;
+  }
+
+  let create ?(granularity_ms = 1.0) ?(slots = 256) ~now_ms () =
+    if granularity_ms <= 0.0 then
+      invalid_arg "Timer_wheel.create: granularity must be positive";
+    if slots < 1 then invalid_arg "Timer_wheel.create: need at least one slot";
+    {
+      granularity_ms;
+      slots = Array.make slots [];
+      pending = 0;
+      order = 0;
+      now = now_ms;
+    }
+
+  let tick t time = int_of_float (Float.max 0.0 time /. t.granularity_ms)
+
+  let schedule t ~at_ms payload =
+    (* Deadlines in the past fire on the next advance. *)
+    let at_ms = Float.max t.now at_ms in
+    let e = { deadline = at_ms; order = t.order; payload; cancelled = false } in
+    t.order <- t.order + 1;
+    let i = tick t at_ms mod Array.length t.slots in
+    t.slots.(i) <- e :: t.slots.(i);
+    t.pending <- t.pending + 1;
+    e
+
+  let cancel t e =
+    if not e.cancelled then begin
+      e.cancelled <- true;
+      t.pending <- t.pending - 1
+    end
+
+  let pending t = t.pending
+
+  let next_deadline t =
+    if t.pending = 0 then None
+    else
+      Array.fold_left
+        (List.fold_left (fun acc e ->
+             if e.cancelled then acc
+             else
+               match acc with
+               | None -> Some e.deadline
+               | Some d -> Some (Float.min d e.deadline)))
+        None t.slots
+
+  (* Walk only the slots the clock swept over since the last advance; an
+     entry a full rotation (or more) away stays in its bucket because its
+     deadline is still in the future. Expired entries come out in
+     deadline order, ties broken by scheduling order. *)
+  let advance t ~now_ms =
+    let n = Array.length t.slots in
+    let first = tick t t.now and last = tick t (Float.max t.now now_ms) in
+    let count = min n (last - first + 1) in
+    let expired = ref [] in
+    for k = 0 to count - 1 do
+      let i = (first + k) mod n in
+      let keep = ref [] in
+      List.iter
+        (fun e ->
+          if e.cancelled then () (* already uncounted: drop it *)
+          else if e.deadline <= now_ms then expired := e :: !expired
+          else keep := e :: !keep)
+        t.slots.(i);
+      t.slots.(i) <- !keep
+    done;
+    t.now <- Float.max t.now now_ms;
+    let sorted =
+      List.sort
+        (fun a b ->
+          match compare a.deadline b.deadline with
+          | 0 -> compare a.order b.order
+          | c -> c)
+        !expired
+    in
+    t.pending <- t.pending - List.length sorted;
+    List.map (fun e -> e.payload) sorted
+end
+
+(* ------------------------------------------------------------------ *)
+(* The event loop                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type task = {
+  scenario : Afex_faultspace.Scenario.t option;
+  start : unit -> Afex.Executor.job;
+}
+
+type stats = {
+  local_runs : int;
+  remote_runs : int;
+  remote_fallbacks : int;
+  max_inflight : int;
+  wakeups : int;
+}
+
+(* Wheel events. [Poll] and [Request_timeout] reference per-batch state
+   (slots); their entries are cancelled when the slot completes, so a
+   stale event can never leak into a later batch. [Backoff_over] is a
+   pure wakeup: it only bounds how long the loop may sleep while a
+   manager is gated behind its reconnect backoff. *)
+type event = Poll of int | Request_timeout of int * int | Backoff_over of int
+
+type remote = {
+  conn : Pipelined.conn;
+  mutable not_before : float; (* backoff gate on the monotonic clock *)
+  mutable seen_failures : int;
+}
+
+type t = {
+  inflight : int;
+  request_timeout_ms : int;
+  now_ms : unit -> float;
+  wheel : event Timer_wheel.t;
+  remotes : remote array;
+  mutable rr : int; (* round-robin dispatch cursor *)
+  mutable n_local : int;
+  mutable n_remote : int;
+  mutable n_fallback : int;
+  mutable max_seen : int;
+  mutable n_wakeups : int;
+}
+
+(* How soon to poll again when a job gives no readiness estimate, or its
+   estimate has already passed. *)
+let poll_fallback_ms = 1.0
+
+let create ?(remotes = []) ?(request_timeout_ms = 10_000)
+    ?(now_ms = Afex.Executor.monotonic_ms) ~inflight ~total_blocks () =
+  if inflight < 1 then
+    invalid_arg "Async_executor.create: inflight must be positive";
+  if request_timeout_ms < 1 then
+    invalid_arg "Async_executor.create: request timeout must be positive";
+  {
+    inflight;
+    request_timeout_ms;
+    now_ms;
+    wheel = Timer_wheel.create ~now_ms:(now_ms ()) ();
+    remotes =
+      Array.of_list
+        (List.map
+           (fun spec ->
+             {
+               conn = Pipelined.create spec ~total_blocks;
+               not_before = 0.0;
+               seen_failures = 0;
+             })
+           remotes);
+    rr = 0;
+    n_local = 0;
+    n_remote = 0;
+    n_fallback = 0;
+    max_seen = 0;
+    n_wakeups = 0;
+  }
+
+let inflight t = t.inflight
+
+let stats t =
+  {
+    local_runs = t.n_local;
+    remote_runs = t.n_remote;
+    remote_fallbacks = t.n_fallback;
+    max_inflight = t.max_seen;
+    wakeups = t.n_wakeups;
+  }
+
+let remote_stats t =
+  Array.to_list
+    (Array.map (fun r -> (Pipelined.name r.conn, Pipelined.stats r.conn)) t.remotes)
+
+let close t = Array.iter (fun r -> Pipelined.close r.conn) t.remotes
+
+(* A manager failed: gate its next attempt behind the exponential backoff
+   as a timer-wheel deadline — never a sleep, so every other in-flight
+   test keeps progressing while it cools off. *)
+let refresh_gate t ix =
+  let r = t.remotes.(ix) in
+  let f = Pipelined.failures r.conn in
+  if f > r.seen_failures then begin
+    r.seen_failures <- f;
+    if not (Pipelined.abandoned r.conn) then begin
+      r.not_before <- t.now_ms () +. Pipelined.backoff_ms r.conn;
+      ignore (Timer_wheel.schedule t.wheel ~at_ms:r.not_before (Backoff_over ix));
+      Log.debug (fun m ->
+          m "%s: backoff until t+%.1fms (failure %d/%d)" (Pipelined.name r.conn)
+            (Pipelined.backoff_ms r.conn) f
+            (Pipelined.max_attempts r.conn))
+    end
+  end
+  else if f < r.seen_failures then r.seen_failures <- f
+
+let exec_batch t tasks =
+  let n = Array.length tasks in
+  let results : (Outcome.t, exn) result option array = Array.make n None in
+  let completed = ref 0 and inflight = ref 0 and next = ref 0 in
+  let local_jobs : (int, Afex.Executor.job) Hashtbl.t = Hashtbl.create 16 in
+  let poll_timers : (int, event Timer_wheel.entry) Hashtbl.t = Hashtbl.create 16 in
+  let req_timers : (int, event Timer_wheel.entry) Hashtbl.t = Hashtbl.create 16 in
+  let cancel_timer table slot =
+    match Hashtbl.find_opt table slot with
+    | Some e ->
+        Timer_wheel.cancel t.wheel e;
+        Hashtbl.remove table slot
+    | None -> ()
+  in
+  let set_poll_timer slot at =
+    cancel_timer poll_timers slot;
+    Hashtbl.replace poll_timers slot (Timer_wheel.schedule t.wheel ~at_ms:at (Poll slot))
+  in
+  let complete slot result =
+    match results.(slot) with
+    | Some _ -> ()
+    | None ->
+        results.(slot) <- Some result;
+        incr completed;
+        decr inflight;
+        cancel_timer poll_timers slot;
+        cancel_timer req_timers slot
+  in
+  let start_local slot =
+    t.n_local <- t.n_local + 1;
+    match tasks.(slot).start () with
+    | exception e -> complete slot (Error e)
+    | job -> (
+        match job.Afex.Executor.poll () with
+        | Some outcome -> complete slot (Ok outcome)
+        | exception e -> complete slot (Error e)
+        | None ->
+            Hashtbl.replace local_jobs slot job;
+            let at =
+              match job.Afex.Executor.ready_at_ms () with
+              | Some d -> Float.max d (t.now_ms ())
+              | None -> t.now_ms () +. poll_fallback_ms
+            in
+            set_poll_timer slot at)
+  in
+  let poll_slot slot =
+    match Hashtbl.find_opt local_jobs slot with
+    | None -> ()
+    | Some job -> (
+        match job.Afex.Executor.poll () with
+        | Some outcome ->
+            Hashtbl.remove local_jobs slot;
+            complete slot (Ok outcome)
+        | exception e ->
+            Hashtbl.remove local_jobs slot;
+            complete slot (Error e)
+        | None ->
+            let now = t.now_ms () in
+            let at =
+              match job.Afex.Executor.ready_at_ms () with
+              | Some d when d > now -> d
+              | Some _ | None -> now +. poll_fallback_ms
+            in
+            set_poll_timer slot at)
+  in
+  let fallback slot =
+    cancel_timer req_timers slot;
+    t.n_fallback <- t.n_fallback + 1;
+    start_local slot
+  in
+  let absorb_orphans ix =
+    List.iter fallback (Pipelined.take_orphans t.remotes.(ix).conn)
+  in
+  (* Try to put the test on a manager's wire; [false] = the caller runs
+     it locally. Submit failures drop the connection, orphaning whatever
+     was in flight on it — those fall back here too, immediately. *)
+  let try_remote slot scenario =
+    let m = Array.length t.remotes in
+    let rec go k =
+      if k >= m then false
+      else begin
+        let ix = (t.rr + k) mod m in
+        let r = t.remotes.(ix) in
+        if Pipelined.dispatchable r.conn && t.now_ms () >= r.not_before then begin
+          match Pipelined.submit r.conn ~tag:slot scenario with
+          | Ok () ->
+              t.rr <- (ix + 1) mod m;
+              t.n_remote <- t.n_remote + 1;
+              cancel_timer req_timers slot;
+              Hashtbl.replace req_timers slot
+                (Timer_wheel.schedule t.wheel
+                   ~at_ms:(t.now_ms () +. float_of_int t.request_timeout_ms)
+                   (Request_timeout (ix, slot)));
+              true
+          | Error e ->
+              Log.debug (fun m ->
+                  m "%s: submit failed: %s" (Pipelined.name r.conn)
+                    (Remote_manager.string_of_error e));
+              refresh_gate t ix;
+              absorb_orphans ix;
+              go (k + 1)
+        end
+        else go (k + 1)
+      end
+    in
+    go 0
+  in
+  let dispatch () =
+    while !inflight < t.inflight && !next < n do
+      let slot = !next in
+      incr next;
+      incr inflight;
+      if !inflight > t.max_seen then t.max_seen <- !inflight;
+      match tasks.(slot).scenario with
+      | Some scenario when Array.length t.remotes > 0 ->
+          if not (try_remote slot scenario) then begin
+            if Array.exists (fun r -> not (Pipelined.abandoned r.conn)) t.remotes
+            then t.n_fallback <- t.n_fallback + 1;
+            start_local slot
+          end
+      | Some _ | None -> start_local slot
+    done
+  in
+  let handle_event = function
+    | Poll slot ->
+        Hashtbl.remove poll_timers slot;
+        poll_slot slot
+    | Backoff_over _ -> ()
+    | Request_timeout (ix, slot) ->
+        Hashtbl.remove req_timers slot;
+        let r = t.remotes.(ix) in
+        if
+          (match results.(slot) with None -> true | Some _ -> false)
+          && Pipelined.awaiting r.conn slot
+        then begin
+          (* A straggling manager forfeits everything it holds. *)
+          Log.debug (fun m ->
+              m "%s: request timeout after %dms" (Pipelined.name r.conn)
+                t.request_timeout_ms);
+          Pipelined.fail r.conn;
+          refresh_gate t ix;
+          absorb_orphans ix
+        end
+  in
+  let drain_remotes () =
+    Array.iteri
+      (fun ix r ->
+        List.iter
+          (fun (slot, result) ->
+            match result with
+            | Ok outcome ->
+                cancel_timer req_timers slot;
+                complete slot (Ok outcome)
+            | Error e ->
+                Log.debug (fun m ->
+                    m "%s: test %d failed remotely (%s); re-running locally"
+                      (Pipelined.name r.conn) slot
+                      (Remote_manager.string_of_error e));
+                fallback slot)
+          (Pipelined.drain r.conn);
+        refresh_gate t ix;
+        absorb_orphans ix)
+      t.remotes
+  in
+  dispatch ();
+  while !completed < n do
+    t.n_wakeups <- t.n_wakeups + 1;
+    let now = t.now_ms () in
+    let fd_slots =
+      Hashtbl.fold
+        (fun slot (job : Afex.Executor.job) acc ->
+          match job.Afex.Executor.wait_fd with
+          | Some fd -> (fd, slot) :: acc
+          | None -> acc)
+        local_jobs []
+    in
+    let remote_fds =
+      Array.fold_left
+        (fun acc r ->
+          match Pipelined.wait_fd r.conn with Some fd -> fd :: acc | None -> acc)
+        [] t.remotes
+    in
+    let fds = List.map fst fd_slots @ remote_fds in
+    let timeout_s =
+      match Timer_wheel.next_deadline t.wheel with
+      | Some d -> Float.max 0.0 (Float.min 0.1 ((d -. now) /. 1000.0))
+      | None -> if fds = [] then 0.0 else 0.05
+    in
+    let readable =
+      if fds = [] then begin
+        if timeout_s > 0.0 then Unix.sleepf timeout_s;
+        []
+      end
+      else
+        match Unix.select fds [] [] timeout_s with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (EINTR, _, _) -> []
+    in
+    drain_remotes ();
+    List.iter
+      (fun (fd, slot) -> if List.memq fd readable then poll_slot slot)
+      fd_slots;
+    List.iter handle_event (Timer_wheel.advance t.wheel ~now_ms:(t.now_ms ()));
+    dispatch ()
+  done;
+  Hashtbl.iter (fun _ e -> Timer_wheel.cancel t.wheel e) poll_timers;
+  Hashtbl.iter (fun _ e -> Timer_wheel.cancel t.wheel e) req_timers;
+  Array.map (function Some r -> r | None -> assert false) results

@@ -10,10 +10,12 @@ type executor =
       description : string;
       run : Rng.t -> Scenario.t -> Outcome.t;
     }
+  | Async of Afex.Executor.async
 
 let total_blocks = function
   | Pure e -> e.Afex.Executor.total_blocks
   | Seeded s -> s.total_blocks
+  | Async a -> a.Afex.Executor.async_total_blocks
 
 (* The explorer only uses the executor for sizing its coverage bitset and
    for log lines; all actual execution goes through the pool. *)
@@ -22,6 +24,10 @@ let explorer_executor = function
   | Seeded { total_blocks; description; run = _ } ->
       Afex.Executor.of_scenario_fn ~total_blocks ~description (fun _ ->
           invalid_arg "Pool: a seeded executor only runs on the pool")
+  | Async a ->
+      Afex.Executor.of_scenario_fn ~total_blocks:a.Afex.Executor.async_total_blocks
+        ~description:a.Afex.Executor.async_description (fun _ ->
+          invalid_arg "Pool: an async executor only runs on the pool")
 
 (* ------------------------------------------------------------------ *)
 (* Bounded work queue (multi-producer, multi-consumer)                 *)
@@ -117,6 +123,11 @@ type batch = {
   mutable completed : int;
 }
 
+(* One candidate's executable payload: [run] is the synchronous form the
+   Domain workers (and the inline path) use; [start] is the nonblocking
+   form the async event loop multiplexes. Exactly one of them runs. *)
+type work = { run : unit -> Outcome.t; start : unit -> Afex.Executor.job }
+
 (* [scenario] is carried alongside the local thunk so a remote worker can
    ship the task over the wire; [None] (seeded executors, whose RNG
    closure cannot cross the wire) forces local execution everywhere. *)
@@ -141,6 +152,9 @@ type t = {
   jobs : int;
   executor : executor;
   queue : task Bqueue.t option;  (* [None]: jobs = 1, execute inline *)
+  async : Async_executor.t option;
+      (* [Some _]: single-domain event-loop mode ([inflight > 1] or an
+         [Async] executor); [queue] and [domains] are unused. *)
   domains : unit Domain.t array;
   remotes : Remote_manager.t list;
   remote_runs : int Atomic.t;
@@ -175,16 +189,45 @@ let rec remote_worker ~runs ~fallbacks rm queue =
       | None -> run_task task);
       remote_worker ~runs ~fallbacks rm queue
 
-let create ?(remotes = []) ~jobs executor =
+let create ?(remotes = []) ?(inflight = 1) ?request_timeout_ms ~jobs executor =
   if jobs < 0 then invalid_arg "Pool.create: jobs must be non-negative";
-  if jobs = 0 && remotes = [] then
-    invalid_arg "Pool.create: need at least one worker (jobs or remotes)";
+  if inflight < 1 then invalid_arg "Pool.create: inflight must be positive";
   let remote_runs = Atomic.make 0 and remote_fallbacks = Atomic.make 0 in
-  if jobs = 1 && remotes = [] then
+  let async_mode =
+    inflight > 1 || (match executor with Async _ -> true | Pure _ | Seeded _ -> false)
+  in
+  if async_mode then begin
+    (* Event-loop concurrency is orthogonal to Domain parallelism; mixing
+       them would make the batch schedule depend on both, for no
+       benefit — an async target waits, it doesn't compute. *)
+    if jobs > 1 then
+      invalid_arg
+        "Pool.create: inflight > 1 (or an Async executor) multiplexes on a \
+         single domain; use jobs <= 1";
+    let async =
+      Async_executor.create ~remotes ?request_timeout_ms ~inflight
+        ~total_blocks:(total_blocks executor) ()
+    in
     {
       jobs;
       executor;
       queue = None;
+      async = Some async;
+      domains = [||];
+      remotes = [];
+      remote_runs;
+      remote_fallbacks;
+      shut = false;
+    }
+  end
+  else if jobs = 0 && remotes = [] then
+    invalid_arg "Pool.create: need at least one worker (jobs or remotes)"
+  else if jobs = 1 && remotes = [] then
+    {
+      jobs;
+      executor;
+      queue = None;
+      async = None;
       domains = [||];
       remotes = [];
       remote_runs;
@@ -214,6 +257,7 @@ let create ?(remotes = []) ~jobs executor =
       jobs;
       executor;
       queue = Some queue;
+      async = None;
       domains = Array.append local remote;
       remotes = rms;
       remote_runs;
@@ -223,39 +267,57 @@ let create ?(remotes = []) ~jobs executor =
   end
 
 let jobs t = t.jobs
-let remote_stats t = List.map (fun rm -> (Remote_manager.name rm, Remote_manager.stats rm)) t.remotes
+let inflight t = match t.async with Some a -> Async_executor.inflight a | None -> 1
+let async_stats t = Option.map Async_executor.stats t.async
+
+let remote_stats t =
+  match t.async with
+  | Some a -> Async_executor.remote_stats a
+  | None ->
+      List.map (fun rm -> (Remote_manager.name rm, Remote_manager.stats rm)) t.remotes
 
 let shutdown t =
   if not t.shut then begin
     t.shut <- true;
     Option.iter Bqueue.close t.queue;
-    Array.iter Domain.join t.domains
+    Array.iter Domain.join t.domains;
+    Option.iter Async_executor.close t.async
   end
 
 let exec_batch t tasks =
   let n = Array.length tasks in
-  match t.queue with
-  | None ->
-      Array.map (fun (_, thunk) -> try Ok (thunk ()) with e -> Error e) tasks
-  | Some queue ->
-      let batch =
-        {
-          results = Array.make n None;
-          lock = Mutex.create ();
-          finished = Condition.create ();
-          completed = 0;
-        }
-      in
-      Array.iteri
-        (fun slot (scenario, thunk) ->
-          Bqueue.push queue { slot; scenario; thunk; batch })
-        tasks;
-      Mutex.lock batch.lock;
-      while batch.completed < n do
-        Condition.wait batch.finished batch.lock
-      done;
-      Mutex.unlock batch.lock;
-      Array.map (function Some r -> r | None -> assert false) batch.results
+  match t.async with
+  | Some async ->
+      Async_executor.exec_batch async
+        (Array.map
+           (fun (scenario, work) ->
+             { Async_executor.scenario; start = work.start })
+           tasks)
+  | None -> (
+      match t.queue with
+      | None ->
+          Array.map
+            (fun (_, work) -> try Ok (work.run ()) with e -> Error e)
+            tasks
+      | Some queue ->
+          let batch =
+            {
+              results = Array.make n None;
+              lock = Mutex.create ();
+              finished = Condition.create ();
+              completed = 0;
+            }
+          in
+          Array.iteri
+            (fun slot (scenario, work) ->
+              Bqueue.push queue { slot; scenario; thunk = work.run; batch })
+            tasks;
+          Mutex.lock batch.lock;
+          while batch.completed < n do
+            Condition.wait batch.finished batch.lock
+          done;
+          Mutex.unlock batch.lock;
+          Array.map (function Some r -> r | None -> assert false) batch.results)
 
 (* ------------------------------------------------------------------ *)
 (* The session loop                                                    *)
@@ -289,11 +351,18 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
   let master = Rng.create config.Afex.Config.seed in
   let cache : (string, Outcome.t) Hashtbl.t = Hashtbl.create 256 in
   let memoize =
-    memoize && (match t.executor with Pure _ -> true | Seeded _ -> false)
+    memoize
+    && (match t.executor with Pure _ | Async _ -> true | Seeded _ -> false)
   in
   let executed = ref 0 and cache_hits = ref 0 and batches = ref 0 in
-  let remote_runs0 = Atomic.get t.remote_runs in
-  let remote_fallbacks0 = Atomic.get t.remote_fallbacks in
+  let remote_counters () =
+    match t.async with
+    | Some a ->
+        let s = Async_executor.stats a in
+        (s.Async_executor.remote_runs, s.Async_executor.remote_fallbacks)
+    | None -> (Atomic.get t.remote_runs, Atomic.get t.remote_fallbacks)
+  in
+  let remote_runs0, remote_fallbacks0 = remote_counters () in
   (* Stop-target accounting, as in Session.run: distinct points only. *)
   let matched = Hashtbl.create 16 and stop_iteration = ref None in
   let target_met () =
@@ -332,18 +401,45 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
         let rngs =
           match t.executor with
           | Seeded _ -> Rng.split_n batch_rng n
-          | Pure _ -> [||]
+          | Pure _ | Async _ -> [||]
         in
         (* Decide, in submission order, how each candidate is satisfied:
            fresh worker run, memo-cache hit, or duplicate of an earlier
            in-batch submission. *)
         let inflight : (string, int) Hashtbl.t = Hashtbl.create 16 in
         let rev_tasks = ref [] and n_tasks = ref 0 in
-        let fresh scenario thunk =
+        let fresh scenario work =
           let slot = !n_tasks in
           incr n_tasks;
-          rev_tasks := (scenario, thunk) :: !rev_tasks;
+          rev_tasks := (scenario, work) :: !rev_tasks;
           From_worker slot
+        in
+        (* A synchronous thunk as nonblocking work: [start] just runs it
+           to completion, so the async loop degenerates gracefully. *)
+        let sync_work thunk =
+          {
+            run = thunk;
+            start = (fun () -> Afex.Executor.job_done (thunk ()));
+          }
+        in
+        let memoized i work =
+          let scenario = Some scenarios.(i) in
+          if not memoize then fresh scenario work
+          else begin
+            let key = Scenario.to_string scenarios.(i) in
+            match Hashtbl.find_opt cache key with
+            | Some outcome ->
+                incr cache_hits;
+                From_cache outcome
+            | None -> (
+                match Hashtbl.find_opt inflight key with
+                | Some j ->
+                    incr cache_hits;
+                    Duplicate j
+                | None ->
+                    Hashtbl.replace inflight key i;
+                    fresh scenario work)
+          end
         in
         let sources =
           Array.init n (fun i ->
@@ -351,26 +447,18 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
               | Seeded { run; _ } ->
                   let rng = rngs.(i) in
                   (* The RNG closure cannot cross the wire: never remoted. *)
-                  fresh None (fun () -> run rng scenarios.(i))
+                  fresh None (sync_work (fun () -> run rng scenarios.(i)))
               | Pure exec ->
-                  let execute () = exec.Afex.Executor.run_scenario scenarios.(i) in
-                  let scenario = Some scenarios.(i) in
-                  if not memoize then fresh scenario execute
-                  else begin
-                    let key = Scenario.to_string scenarios.(i) in
-                    match Hashtbl.find_opt cache key with
-                    | Some outcome ->
-                        incr cache_hits;
-                        From_cache outcome
-                    | None -> (
-                        match Hashtbl.find_opt inflight key with
-                        | Some j ->
-                            incr cache_hits;
-                            Duplicate j
-                        | None ->
-                            Hashtbl.replace inflight key i;
-                            fresh scenario execute)
-                  end)
+                  memoized i
+                    (sync_work (fun () ->
+                         exec.Afex.Executor.run_scenario scenarios.(i)))
+              | Async a ->
+                  let start () = a.Afex.Executor.start scenarios.(i) in
+                  memoized i
+                    {
+                      run = (fun () -> Afex.Executor.run_job_blocking (start ()));
+                      start;
+                    })
         in
         let results = exec_batch t (Array.of_list (List.rev !rev_tasks)) in
         executed := !executed + Array.length results;
@@ -414,19 +502,20 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
       ~total_blocks:(total_blocks t.executor)
       ~stopped_early:(target_met ()) ~stop_iteration:!stop_iteration
   in
+  let remote_runs1, remote_fallbacks1 = remote_counters () in
   ( result,
     {
       executed = !executed;
       cache_hits = !cache_hits;
       batches = !batches;
-      remote_runs = Atomic.get t.remote_runs - remote_runs0;
-      remote_fallbacks = Atomic.get t.remote_fallbacks - remote_fallbacks0;
+      remote_runs = remote_runs1 - remote_runs0;
+      remote_fallbacks = remote_fallbacks1 - remote_fallbacks0;
       wall_ms = 1000.0 *. (Unix.gettimeofday () -. started);
     } )
 
-let run ?transform ?stop ?time_budget_ms ?batch_size ?memoize ?remotes ~jobs
-    ~iterations config sub executor =
-  let t = create ?remotes ~jobs executor in
+let run ?transform ?stop ?time_budget_ms ?batch_size ?memoize ?remotes ?inflight
+    ?request_timeout_ms ~jobs ~iterations config sub executor =
+  let t = create ?remotes ?inflight ?request_timeout_ms ~jobs executor in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->

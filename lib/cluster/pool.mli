@@ -29,6 +29,14 @@ type executor =
           and per task in submission order from the session seed, so runs
           replay exactly for a fixed seed regardless of [jobs]. Never
           memoized. *)
+  | Async of Afex.Executor.async
+      (** Latency-bound executor with a nonblocking start/poll split
+          (e.g. a simulated slow target, or a wrapped fork/exec'd
+          process): the pool multiplexes up to [inflight] of these from a
+          single-domain event loop ({!Async_executor}) instead of
+          burning a worker domain per in-flight test. Deterministic by
+          contract — the outcome must be a function of the scenario
+          alone — and therefore memoized like [Pure]. *)
 
 type t
 (** A running pool: [jobs] local worker domains plus one proxy domain per
@@ -36,7 +44,13 @@ type t
     and no remotes, no domain is spawned and tasks run inline on the
     caller. *)
 
-val create : ?remotes:Remote_manager.spec list -> jobs:int -> executor -> t
+val create :
+  ?remotes:Remote_manager.spec list ->
+  ?inflight:int ->
+  ?request_timeout_ms:int ->
+  jobs:int ->
+  executor ->
+  t
 (** Spawns the worker domains. Each remote spec gets a dedicated proxy
     domain that ships scenarios to its manager over the wire and falls
     back to running them locally if the manager fails (dead, exhausted
@@ -44,9 +58,26 @@ val create : ?remotes:Remote_manager.spec list -> jobs:int -> executor -> t
     explored-point history. Remote connections are dialed lazily on first
     use. [Seeded] tasks are never sent remotely (their RNG stream cannot
     cross the wire).
-    @raise Invalid_argument if [jobs < 0] or [jobs = 0] with no remotes. *)
+
+    [inflight] (default 1) switches the pool to single-domain event-loop
+    mode when [> 1] (an [Async] executor switches unconditionally): up to
+    [inflight] tests are kept concurrently in flight by {!Async_executor}
+    — remotes become pipelined connections on the same loop rather than
+    proxy domains, and [request_timeout_ms] bounds how long a straggling
+    manager may hold any one of them. The explored-point history is
+    identical at every [inflight] value (and to the Domain path at equal
+    [batch_size]): results merge in submission order regardless of
+    completion order.
+    @raise Invalid_argument if [jobs < 0], [jobs = 0] with no remotes,
+    [inflight < 1], or event-loop mode is combined with [jobs > 1]. *)
 
 val jobs : t -> int
+
+val inflight : t -> int
+(** 1 unless the pool is in event-loop mode. *)
+
+val async_stats : t -> Async_executor.stats option
+(** Event-loop counters, when in event-loop mode. *)
 
 val remote_stats : t -> (string * Remote_manager.stats) list
 (** One [(name, stats)] per remote manager, in [create] order. *)
@@ -96,6 +127,8 @@ val run :
   ?batch_size:int ->
   ?memoize:bool ->
   ?remotes:Remote_manager.spec list ->
+  ?inflight:int ->
+  ?request_timeout_ms:int ->
   jobs:int ->
   iterations:int ->
   Afex.Config.t ->

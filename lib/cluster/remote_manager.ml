@@ -110,22 +110,35 @@ let handshake (conn : Transport.t) =
                         "protocol version mismatch: manager speaks %d, client %d"
                         v Message.protocol_version))))
 
-let connect t =
-  t.n_dials <- t.n_dials + 1;
-  match t.spec.dial () with
+let dial_and_handshake spec =
+  match spec.dial () with
   | Error e -> Error (Transport e)
   | Ok conn -> (
       match handshake conn with
-      | Ok () ->
-          t.conn <- Some conn;
-          Ok conn
+      | Ok () -> Ok conn
       | Error e ->
           conn.Transport.close ();
           Error e)
 
+let connect t =
+  t.n_dials <- t.n_dials + 1;
+  match dial_and_handshake t.spec with
+  | Ok conn ->
+      t.conn <- Some conn;
+      Ok conn
+  | Error e -> Error e
+
+(* Exponential backoff schedule shared by the blocking client (which
+   sleeps it on its dedicated proxy domain) and the pipelined client
+   (which never sleeps: the async executor turns the same delay into a
+   timer-wheel deadline, so other in-flight tests keep progressing). *)
+let backoff_delay_ms spec attempt =
+  if spec.backoff_ms <= 0.0 then 0.0
+  else spec.backoff_ms *. (2.0 ** float_of_int (attempt - 1))
+
 let backoff t attempt =
-  if t.spec.backoff_ms > 0.0 then
-    Unix.sleepf (t.spec.backoff_ms *. (2.0 ** float_of_int (attempt - 1)) /. 1000.0)
+  let delay = backoff_delay_ms t.spec attempt in
+  if delay > 0.0 then Unix.sleepf (delay /. 1000.0)
 
 (* Read replies until the one matching [seq]: chaos can duplicate frames,
    so stale sequence numbers are skipped rather than fatal. *)
@@ -197,6 +210,185 @@ let close t =
       c.Transport.close ()
   | None -> ());
   t.conn <- None
+
+(* ------------------------------------------------------------------ *)
+(* Pipelined client                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Pipelined = struct
+  type conn_state = Idle | Connected of Transport.t | Abandoned
+
+  type conn = {
+    spec : spec;
+    total_blocks : int;
+    mutable state : conn_state;
+    outstanding : (int, int) Hashtbl.t; (* wire seq -> caller tag *)
+    mutable orphans : int list;
+    mutable seq : int;
+    mutable failures : int; (* consecutive connection-level failures *)
+    mutable n_requests : int;
+    mutable n_retries : int;
+    mutable n_dials : int;
+    mutable n_manager_errors : int;
+  }
+
+  let create spec ~total_blocks =
+    {
+      spec;
+      total_blocks;
+      state = Idle;
+      outstanding = Hashtbl.create 16;
+      orphans = [];
+      seq = 0;
+      failures = 0;
+      n_requests = 0;
+      n_retries = 0;
+      n_dials = 0;
+      n_manager_errors = 0;
+    }
+
+  let name t = t.spec.name
+  let pending t = Hashtbl.length t.outstanding
+
+  let awaiting t tag =
+    Hashtbl.fold (fun _ tg acc -> acc || tg = tag) t.outstanding false
+  let failures t = t.failures
+  let max_attempts t = t.spec.max_attempts
+  let backoff_ms t = backoff_delay_ms t.spec (max 1 t.failures)
+  let abandoned t = match t.state with Abandoned -> true | _ -> false
+
+  let dispatchable t =
+    match t.state with Abandoned -> false | Idle | Connected _ -> true
+
+  let wait_fd t =
+    match t.state with
+    | Connected c -> c.Transport.wait_fd ()
+    | Idle | Abandoned -> None
+
+  let stats t =
+    {
+      requests = t.n_requests;
+      retries = t.n_retries;
+      dials = t.n_dials;
+      manager_errors = t.n_manager_errors;
+    }
+
+  let take_orphans t =
+    let tags = List.rev t.orphans in
+    t.orphans <- [];
+    tags
+
+  (* Drop the connection: every request still in flight on it is orphaned
+     (the caller re-runs those locally), and after [max_attempts]
+     consecutive failures the manager is written off for good. Never
+     sleeps — backoff is the {e caller's} timer (see {!backoff_ms}). *)
+  let fail t =
+    (match t.state with
+    | Connected c -> c.Transport.close ()
+    | Idle | Abandoned -> ());
+    Hashtbl.iter (fun _ tag -> t.orphans <- tag :: t.orphans) t.outstanding;
+    Hashtbl.reset t.outstanding;
+    t.failures <- t.failures + 1;
+    t.n_retries <- t.n_retries + 1;
+    t.state <- (if t.failures >= t.spec.max_attempts then Abandoned else Idle);
+    Log.debug (fun m ->
+        m "%s: pipelined connection failure %d/%d" t.spec.name t.failures
+          t.spec.max_attempts)
+
+  let connection t =
+    match t.state with
+    | Connected c -> Ok c
+    | Abandoned ->
+        Error
+          (Exhausted { attempts = t.spec.max_attempts; last = "manager abandoned" })
+    | Idle -> (
+        t.n_dials <- t.n_dials + 1;
+        match dial_and_handshake t.spec with
+        | Ok c ->
+            t.state <- Connected c;
+            Ok c
+        | Error e ->
+            fail t;
+            Error e)
+
+  let submit t ~tag scenario =
+    match connection t with
+    | Error e -> Error e
+    | Ok conn -> (
+        t.seq <- t.seq + 1;
+        let seq = t.seq in
+        let line =
+          Message.encode_to_manager (Message.Run_scenario { seq; scenario })
+        in
+        match conn.Transport.send line with
+        | Ok () ->
+            t.n_requests <- t.n_requests + 1;
+            Hashtbl.replace t.outstanding seq tag;
+            Ok ()
+        | Error e ->
+            fail t;
+            Error (Transport e))
+
+  (* Everything already on the wire, matched out of order: responses
+     carry the request's seq, so a manager answering seq 5 before seq 3
+     (or a duplicated frame from the chaos mangler) is handled without
+     any head-of-line blocking. *)
+  let drain t =
+    match t.state with
+    | Idle | Abandoned -> []
+    | Connected conn ->
+        let rec loop acc =
+          match conn.Transport.try_recv ~timeout_ms:0 with
+          | Ok None -> List.rev acc
+          | Error _ ->
+              fail t;
+              List.rev acc
+          | Ok (Some line) -> (
+              match Message.decode_from_manager line with
+              | Error _ ->
+                  (* The frame passed its checksum but carries junk: the
+                     stream can no longer be trusted. *)
+                  fail t;
+                  List.rev acc
+              | Ok (Message.Manager_error { seq = -1; _ }) ->
+                  (* The manager could not decode some request; we cannot
+                     tell which, so every in-flight one is suspect. *)
+                  fail t;
+                  List.rev acc
+              | Ok (Message.Manager_error { seq; message }) -> (
+                  match Hashtbl.find_opt t.outstanding seq with
+                  | None -> loop acc (* stale duplicate *)
+                  | Some tag ->
+                      Hashtbl.remove t.outstanding seq;
+                      t.n_manager_errors <- t.n_manager_errors + 1;
+                      loop ((tag, Error (Manager message)) :: acc))
+              | Ok (Message.Scenario_result r) -> (
+                  match Hashtbl.find_opt t.outstanding r.Message.seq with
+                  | None -> loop acc (* stale duplicate *)
+                  | Some tag ->
+                      Hashtbl.remove t.outstanding r.Message.seq;
+                      t.failures <- 0;
+                      let result =
+                        match
+                          Message.outcome_of_report ~total_blocks:t.total_blocks r
+                        with
+                        | Ok outcome -> Ok outcome
+                        | Error m -> Error (Protocol ("unusable report: " ^ m))
+                      in
+                      loop ((tag, result) :: acc)))
+        in
+        loop []
+
+  let close t =
+    (match t.state with
+    | Connected c ->
+        ignore (c.Transport.send (Message.encode_to_manager Message.Shutdown));
+        c.Transport.close ()
+    | Idle | Abandoned -> ());
+    Hashtbl.iter (fun _ tag -> t.orphans <- tag :: t.orphans) t.outstanding;
+    Hashtbl.reset t.outstanding;
+    t.state <- Abandoned
+end
 
 (* ------------------------------------------------------------------ *)
 (* Server loop                                                         *)

@@ -81,6 +81,87 @@ val run_scenario :
 val close : t -> unit
 (** Best-effort [Shutdown] to the manager, then closes. Idempotent. *)
 
+(** {2 The pipelined client}
+
+    The blocking proxy above keeps exactly one request on the wire and
+    sleeps through reconnect backoff — fine on a dedicated proxy domain,
+    fatal inside an event loop that multiplexes many in-flight tests.
+    The pipelined client keeps several seq-tagged requests outstanding on
+    one connection, matches responses {e out of order}, and never sleeps:
+    every failure is reported synchronously and the retry/backoff
+    schedule is exposed as data ({!Pipelined.backoff_ms}) for the caller
+    — in practice [Async_executor]'s timer wheel — to turn into a
+    deadline, so other in-flight tests keep progressing while a manager
+    reconnects. *)
+
+module Pipelined : sig
+  type conn
+
+  val create : spec -> total_blocks:int -> conn
+  (** No I/O; the first {!submit} dials. *)
+
+  val submit : conn -> tag:int -> Afex_faultspace.Scenario.t -> (unit, error) result
+  (** Send one request without waiting for its response. [tag] is the
+      caller's identifier for the test (the pool uses batch slots); it
+      comes back in {!drain}. On any failure the connection is dropped
+      ({!take_orphans} yields every request that was riding on it) and
+      the error returned — the caller owns the retry/fallback policy. *)
+
+  val drain : conn -> (int * (Afex_injector.Outcome.t, error) result) list
+  (** Collect every response currently available, without blocking
+      (receive with a zero timeout). Responses are matched to tags by
+      sequence number, in whatever order the manager answered; stale
+      duplicates (chaos) are skipped. A connection-level failure —
+      undecodable frame, closed peer, a [seq = -1] manager error — drops
+      the connection; the affected tags appear in {!take_orphans}. *)
+
+  val take_orphans : conn -> int list
+  (** Tags stranded by connection failures since the last call, oldest
+      first. Call after a failed {!submit}, after {!drain}, and after
+      {!fail}. Each orphaned test must be re-run (the pool falls back to
+      a local worker). *)
+
+  val fail : conn -> unit
+  (** Declare the connection dead (the caller's request timer expired:
+      slow-manager straggler control). Drops it, orphans everything in
+      flight, and counts a consecutive failure. *)
+
+  val wait_fd : conn -> Unix.file_descr option
+  (** The fd event loops [select] on, when connected. *)
+
+  val dispatchable : conn -> bool
+  (** The connection can accept a {!submit} (possibly dialing first);
+      [false] once abandoned. The caller must additionally respect
+      {!backoff_ms} after a failure. *)
+
+  val abandoned : conn -> bool
+  (** [max_attempts] consecutive connection failures: written off. *)
+
+  val pending : conn -> int
+  (** Requests on the wire awaiting a response. *)
+
+  val awaiting : conn -> int -> bool
+  (** [awaiting conn tag]: is [tag] still on this connection's wire? A
+      request timer that fires after its test already completed (or was
+      orphaned elsewhere) must not punish the connection. *)
+
+  val failures : conn -> int
+  (** Consecutive connection-level failures (reset by any success). *)
+
+  val backoff_ms : conn -> float
+  (** How long the caller should wait before the next {!submit} after a
+      failure — the same exponential schedule the blocking client
+      sleeps, surfaced as data for a timer wheel. *)
+
+  val max_attempts : conn -> int
+  val name : conn -> string
+  val stats : conn -> stats
+  (** [retries] counts connection-level failures. *)
+
+  val close : conn -> unit
+  (** Best-effort [Shutdown], then abandons the connection. *)
+end
+
 (** {2 The server side} *)
 
 val serve_connection : Node_manager.t -> Transport.t -> (unit, error) result

@@ -82,6 +82,8 @@ end
 type t = {
   send : string -> (unit, error) result;
   recv : unit -> (string, error) result;
+  try_recv : timeout_ms:int -> (string option, error) result;
+  wait_fd : unit -> Unix.file_descr option;
   close : unit -> unit;
   peer : string;
 }
@@ -131,15 +133,17 @@ let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd 
         (mangle (Frame.encode payload))
   in
   let buf = Bytes.create 65536 in
-  let rec recv () =
+  (* [Ok None] = no complete frame within [timeout_ms]; with 0 this is a
+     pure poll, which is what a pipelining event loop needs. *)
+  let rec try_recv ~timeout_ms =
     if !closed then Error Closed
     else
       match Frame.next decoder with
       | Error e -> Error e
-      | Ok (Some payload) -> Ok payload
+      | Ok (Some payload) -> Ok (Some payload)
       | Ok None -> (
           let readable =
-            let deadline = float_of_int recv_timeout_ms /. 1000.0 in
+            let deadline = float_of_int timeout_ms /. 1000.0 in
             let rec select () =
               match Unix.select [ fd ] [] [] deadline with
               | [], _, _ -> false
@@ -148,7 +152,7 @@ let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd 
             in
             select ()
           in
-          if not readable then Error Timeout
+          if not readable then Ok None
           else
             match Unix.read fd buf 0 (Bytes.length buf) with
             | 0 ->
@@ -157,14 +161,21 @@ let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd 
                 else Error Closed
             | n ->
                 Frame.feed decoder (Bytes.sub_string buf 0 n);
-                recv ()
+                try_recv ~timeout_ms
             | exception Unix.Unix_error ((ECONNRESET | EPIPE), _, _) ->
                 Error Closed
-            | exception Unix.Unix_error (EINTR, _, _) -> recv ()
+            | exception Unix.Unix_error (EINTR, _, _) -> try_recv ~timeout_ms
             | exception Unix.Unix_error (e, _, _) ->
                 Error (Io (Unix.error_message e)))
   in
-  { send; recv; close; peer }
+  let recv () =
+    match try_recv ~timeout_ms:recv_timeout_ms with
+    | Ok (Some payload) -> Ok payload
+    | Ok None -> Error Timeout
+    | Error e -> Error e
+  in
+  let wait_fd () = if !closed then None else Some fd in
+  { send; recv; try_recv; wait_fd; close; peer }
 
 let pair ?recv_timeout_ms ?mangle_a ?mangle_b () =
   let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in

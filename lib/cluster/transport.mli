@@ -53,6 +53,15 @@ end
 type t = {
   send : string -> (unit, error) result;
   recv : unit -> (string, error) result;
+  try_recv : timeout_ms:int -> (string option, error) result;
+      (** Like [recv] but bounded by the given timeout, with "nothing
+          yet" reported as [Ok None] instead of an error; [timeout_ms =
+          0] is a pure poll. This is the receive primitive pipelining
+          event loops use — never blocking beyond their own deadline. *)
+  wait_fd : unit -> Unix.file_descr option;
+      (** The fd to [select] on for read-readiness, [None] once closed.
+          Event loops multiplexing several connections block on these
+          instead of calling [recv]. *)
   close : unit -> unit;  (** idempotent *)
   peer : string;  (** human-readable endpoint description *)
 }

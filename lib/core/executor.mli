@@ -42,6 +42,73 @@ val of_scenario_fn :
 val run_fault : t -> Afex_injector.Fault.t -> Afex_injector.Outcome.t
 (** Convenience: encode the fault as a scenario and run it. *)
 
+(** {2 Nonblocking execution}
+
+    For latency-bound targets (a real system under test, a remote
+    manager) the interesting resource is {e in-flight tests}, not CPU: a
+    worker that blocks for the duration of one test wastes its wall-clock
+    on waiting. The nonblocking split separates {e starting} a test from
+    {e collecting} its outcome so a single-domain event loop (see
+    [Afex_cluster.Async_executor]) can keep many injections in flight. *)
+
+type job = {
+  poll : unit -> Afex_injector.Outcome.t option;
+      (** [None] while the test is still running; [Some o] exactly once it
+          completes (and on every later poll). Must never block. *)
+  wait_fd : Unix.file_descr option;
+      (** When the job is backed by an OS resource (a pipe from a forked
+          target, a socket), the fd whose readability means "worth polling
+          again"; event loops put it in their [select] set. *)
+  ready_at_ms : unit -> float option;
+      (** Earliest {!monotonic_ms} instant at which [poll] can succeed,
+          for timer-wheel scheduling. [None] = no estimate (the loop falls
+          back to fd readiness or periodic polling). *)
+}
+(** One in-flight scenario execution. *)
+
+type async = {
+  start : Afex_faultspace.Scenario.t -> job;
+      (** Begin executing; must not wait for completion. *)
+  async_total_blocks : int;
+  async_description : string;
+}
+(** A nonblocking executor: the start/poll counterpart of {!t}. *)
+
+val monotonic_ms : unit -> float
+(** Milliseconds on a process-local clock starting near zero — the time
+    base for {!job.ready_at_ms} and the async executor's timer wheel. *)
+
+val job_done : Afex_injector.Outcome.t -> job
+(** A job that is already complete (used by synchronous executors). *)
+
+val async_of_sync : t -> async
+(** Wrap a synchronous executor: [start] runs the scenario to completion
+    on the calling domain, so concurrency degenerates gracefully to the
+    blocking behaviour. History-equivalent to the original executor. *)
+
+val run_job_blocking :
+  ?poll_interval_ms:float -> ?now_ms:(unit -> float) -> job -> Afex_injector.Outcome.t
+(** Wait for one job: sleeps until [ready_at_ms] (or polls every
+    [poll_interval_ms], default 0.2) and returns the outcome. *)
+
+val sync_of_async :
+  ?poll_interval_ms:float -> ?now_ms:(unit -> float) -> async -> t
+(** The blocking view of a nonblocking executor: each run costs the
+    job's full latency on the calling domain. This is the "blocking
+    worker" baseline the async bench compares against. *)
+
+val delayed :
+  ?now_ms:(unit -> float) ->
+  delay_ms:(Afex_faultspace.Scenario.t -> float) ->
+  t ->
+  async
+(** [delayed ~delay_ms t] makes a latency-bound target out of a fast
+    deterministic one: the outcome is computed immediately but the job
+    only completes [delay_ms scenario] later. With a deterministic
+    [delay_ms] (see [Afex_simtarget.Target.latency_ms]) the executor
+    stays replayable; the blocking view ({!sync_of_async}) really sleeps,
+    the async executor overlaps the waits. *)
+
 type cache_stats = { hits : int; misses : int; entries : int }
 
 val memoized : t -> t * (unit -> cache_stats)

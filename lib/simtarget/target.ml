@@ -101,6 +101,122 @@ let modules t =
   in
   StringSet.elements set
 
+(* ------------------------------------------------------------------ *)
+(* Per-test latency model                                              *)
+(* ------------------------------------------------------------------ *)
+
+type latency_dist =
+  | Fixed of float
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+  | Bimodal of { fast : float; slow : float; slow_share : float }
+
+type latency_model = { dist : latency_dist; seed : int }
+
+let latency_model ?(seed = 0) dist =
+  (match dist with
+  | Fixed ms ->
+      if ms < 0.0 then invalid_arg "Target.latency_model: negative latency"
+  | Uniform { lo; hi } ->
+      if lo < 0.0 || hi < lo then
+        invalid_arg "Target.latency_model: need 0 <= lo <= hi"
+  | Exponential { mean } ->
+      if mean <= 0.0 then invalid_arg "Target.latency_model: mean must be positive"
+  | Bimodal { fast; slow; slow_share } ->
+      if fast < 0.0 || slow < 0.0 || slow_share < 0.0 || slow_share > 1.0 then
+        invalid_arg "Target.latency_model: bimodal parameters out of range");
+  { dist; seed }
+
+(* FNV-1a over the key, folded with the model seed: the latency of a test
+   is a pure function of (model, key), so a campaign against a simulated
+   slow target replays exactly — at any concurrency. *)
+let latency_key_hash seed key =
+  (* The 64-bit FNV offset basis exceeds OCaml's 63-bit int; the truncated
+     constant keeps the same avalanche structure, and we only need a
+     well-mixed 62-bit seed, not FNV compatibility. *)
+  let h = ref 0x3bf29ce484222325 in
+  let mix c = h := (!h lxor c) * 0x100000001b3 in
+  mix (seed land 0xff);
+  mix ((seed lsr 8) land 0xff);
+  mix ((seed lsr 16) land 0xff);
+  mix ((seed lsr 24) land 0xff);
+  String.iter (fun c -> mix (Char.code c)) key;
+  !h land max_int
+
+let latency_ms model key =
+  let rng = Afex_stats.Rng.create (latency_key_hash model.seed key) in
+  match model.dist with
+  | Fixed ms -> ms
+  | Uniform { lo; hi } -> lo +. Afex_stats.Rng.float rng (hi -. lo)
+  | Exponential { mean } ->
+      let u = Afex_stats.Rng.float rng 1.0 in
+      (* Inverse CDF, clamped away from log 0. *)
+      -.mean *. log (Float.max 1e-12 (1.0 -. u))
+  | Bimodal { fast; slow; slow_share } ->
+      if Afex_stats.Rng.bernoulli rng slow_share then slow else fast
+
+let mean_latency_ms model =
+  match model.dist with
+  | Fixed ms -> ms
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Exponential { mean } -> mean
+  | Bimodal { fast; slow; slow_share } ->
+      (fast *. (1.0 -. slow_share)) +. (slow *. slow_share)
+
+let latency_dist_to_string = function
+  | Fixed ms -> Printf.sprintf "fixed:%g" ms
+  | Uniform { lo; hi } -> Printf.sprintf "uniform:%g-%g" lo hi
+  | Exponential { mean } -> Printf.sprintf "exp:%g" mean
+  | Bimodal { fast; slow; slow_share } ->
+      Printf.sprintf "bimodal:%g,%g,%g" fast slow slow_share
+
+let latency_dist_of_string s =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unknown latency distribution %S (try fixed:MS, uniform:LO-HI, \
+          exp:MEAN, bimodal:FAST,SLOW,SHARE)"
+         s)
+  in
+  let float_of s = float_of_string_opt (String.trim s) in
+  match String.index_opt s ':' with
+  | None -> fail ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      let checked dist =
+        match latency_model dist with
+        | { dist; _ } -> Ok dist
+        | exception Invalid_argument m -> Error m
+      in
+      match kind with
+      | "fixed" -> (
+          match float_of rest with
+          | Some ms -> checked (Fixed ms)
+          | None -> fail ())
+      | "exp" -> (
+          match float_of rest with
+          | Some mean -> checked (Exponential { mean })
+          | None -> fail ())
+      | "uniform" -> (
+          match String.index_opt rest '-' with
+          | None -> fail ()
+          | Some d -> (
+              let lo = String.sub rest 0 d in
+              let hi = String.sub rest (d + 1) (String.length rest - d - 1) in
+              match (float_of lo, float_of hi) with
+              | Some lo, Some hi -> checked (Uniform { lo; hi })
+              | _ -> fail ()))
+      | "bimodal" -> (
+          match String.split_on_char ',' rest with
+          | [ fast; slow; share ] -> (
+              match (float_of fast, float_of slow, float_of share) with
+              | Some fast, Some slow, Some slow_share ->
+                  checked (Bimodal { fast; slow; slow_share })
+              | _ -> fail ())
+          | _ -> fail ())
+      | _ -> fail ())
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "%s %s: %d tests, %d callsites, %d modules, %d blocks (%d recovery-only)"

@@ -44,3 +44,42 @@ val modules : t -> string list
 (** Distinct module names. *)
 
 val pp_summary : Format.formatter -> t -> unit
+
+(** {2 Per-test latency model}
+
+    The simulated injector answers in microseconds; a real system under
+    test costs milliseconds to seconds of wall-clock per injection, and
+    that wait — not CPU — is what an async executor overlaps. The latency
+    model assigns every test a deterministic simulated service time, so
+    benches and tests can show async speedup without real slow binaries,
+    and so the numbers replay exactly from the seed. *)
+
+type latency_dist =
+  | Fixed of float  (** every test takes exactly this many ms *)
+  | Uniform of { lo : float; hi : float }
+  | Exponential of { mean : float }
+      (** memoryless service times — the standard M/M-style model *)
+  | Bimodal of { fast : float; slow : float; slow_share : float }
+      (** a fast common path plus a heavy tail (e.g. timeouts, recovery
+          paths): [slow_share] of tests take [slow] ms *)
+
+type latency_model
+
+val latency_model : ?seed:int -> latency_dist -> latency_model
+(** @raise Invalid_argument on negative latencies, [hi < lo], a
+    non-positive mean, or a [slow_share] outside [0, 1]. *)
+
+val latency_ms : latency_model -> string -> float
+(** [latency_ms model key] is the simulated service time for the test
+    identified by [key] (conventionally the scenario's wire string). A
+    pure function of [(model, key)]: the same test always takes the same
+    time, at any concurrency, on any host. *)
+
+val mean_latency_ms : latency_model -> float
+(** Analytic mean of the distribution, for throughput predictions. *)
+
+val latency_dist_to_string : latency_dist -> string
+
+val latency_dist_of_string : string -> (latency_dist, string) result
+(** Parses the CLI grammar: [fixed:MS], [uniform:LO-HI], [exp:MEAN],
+    [bimodal:FAST,SLOW,SHARE]. *)

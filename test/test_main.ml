@@ -10,6 +10,7 @@ let () =
       ("core", Test_core.suite);
       ("cluster", Test_cluster.suite);
       ("transport", Test_transport.suite);
+      ("async", Test_async.suite);
       ("pool", Test_pool.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
