@@ -17,6 +17,7 @@ let experiments =
     ("pool", fun () -> Experiments.pool ());
     ("remote", fun () -> Experiments.remote ());
     ("async", fun () -> Experiments.async ());
+    ("adapt", fun () -> Experiments.adapt ());
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());

@@ -223,8 +223,43 @@ let explore_cmd =
     in
     Arg.(value & opt (some string) None & info [ "latency" ] ~docv:"DIST" ~doc)
   in
+  let adaptive_arg =
+    let doc =
+      "Let the scheduler retune the in-flight window online (AIMD \
+       hill-climbing on measured throughput, bounded by \
+       $(b,--window-min)/$(b,--window-max)). $(b,--batch) becomes the \
+       starting window. Record the decisions with $(b,--trace) to make the \
+       run replayable."
+    in
+    Arg.(value & flag & info [ "adaptive" ] ~doc)
+  in
+  let window_min_arg =
+    let doc = "Lower bound for the adaptive window." in
+    Arg.(value & opt int 1 & info [ "window-min" ] ~docv:"N" ~doc)
+  in
+  let window_max_arg =
+    let doc = "Upper bound for the adaptive window." in
+    Arg.(value & opt int 128 & info [ "window-max" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Write the scheduler's per-batch telemetry and decisions to $(docv) \
+       (usable without $(b,--adaptive) to record a static run's telemetry). \
+       Feed it back with $(b,--replay-trace) to reproduce an adaptive run \
+       bit-for-bit."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let replay_trace_arg =
+    let doc =
+      "Re-apply the window sequence recorded in $(docv) instead of deciding \
+       online; the explored history is bit-identical to the recorded run's."
+    in
+    Arg.(value & opt (some string) None & info [ "replay-trace" ] ~docv:"FILE" ~doc)
+  in
   let run target strategy iterations seed feedback top replay_out multi seed_analysis
-      csv_out json_out assess jobs batch managers inflight latency verbosity =
+      csv_out json_out assess jobs batch managers inflight latency adaptive
+      window_min window_max trace_out replay_trace verbosity =
     setup_logging verbosity;
     let specs =
       List.map
@@ -253,6 +288,44 @@ let explore_cmd =
         "afex: --inflight multiplexes on a single domain; use --jobs 1 with it";
       exit 2
     end;
+    if window_min < 1 || window_max < window_min then begin
+      prerr_endline "afex: need 1 <= --window-min <= --window-max";
+      exit 2
+    end;
+    if adaptive && replay_trace <> None then begin
+      prerr_endline
+        "afex: --adaptive and --replay-trace are exclusive (a replay \
+         re-applies recorded decisions)";
+      exit 2
+    end;
+    let scheduler =
+      match replay_trace with
+      | Some path -> (
+          match Afex_cluster.Scheduler.Trace.load path with
+          | Error e ->
+              prerr_endline ("afex: --replay-trace: " ^ e);
+              exit 2
+          | Ok [] ->
+              prerr_endline ("afex: --replay-trace: " ^ path ^ " has no entries");
+              exit 2
+          | Ok trace ->
+              Some
+                (Afex_cluster.Scheduler.create ~window_min ~window_max
+                   (Afex_cluster.Scheduler.Replay
+                      (Afex_cluster.Scheduler.Trace.windows trace))))
+      | None ->
+          if adaptive then
+            Some
+              (Afex_cluster.Scheduler.create ~window_min ~window_max
+                 ~initial:batch ~seed Afex_cluster.Scheduler.Adaptive)
+          else if trace_out <> None then
+            (* Telemetry-only: record what the frozen window costs. *)
+            Some
+              (Afex_cluster.Scheduler.create ~window_min:1
+                 ~window_max:(max batch window_max) ~initial:batch
+                 Afex_cluster.Scheduler.Static)
+          else None
+    in
     let latency_model =
       match latency with
       | None -> None
@@ -307,7 +380,7 @@ let explore_cmd =
         let result, pool_stats =
           if
             jobs = 1 && batch = 1 && specs = [] && inflight = 1
-            && latency_model = None
+            && latency_model = None && scheduler = None
           then (Afex.Session.run ~iterations config sub executor, None)
           else begin
             let pool =
@@ -317,13 +390,40 @@ let explore_cmd =
               Fun.protect
                 ~finally:(fun () -> Afex_cluster.Pool.shutdown pool)
                 (fun () ->
-                  Afex_cluster.Pool.session ~batch_size:batch ~iterations pool
-                    config sub)
+                  Afex_cluster.Pool.session ?scheduler ~batch_size:batch
+                    ~iterations pool config sub)
             in
             (result, Some (stats, Afex_cluster.Pool.remote_stats pool))
           end
         in
         print_string (Afex_report.Session_report.render ~top ~target result);
+        (match scheduler with
+        | None -> ()
+        | Some s ->
+            let lo, hi = Afex_cluster.Scheduler.bounds s in
+            Format.printf "scheduler: window %d after %d batches (bounds %d-%d)@."
+              (Afex_cluster.Scheduler.window s)
+              (Afex_cluster.Scheduler.batches s)
+              lo hi;
+            (match Afex_cluster.Scheduler.telemetry s with
+            | None -> ()
+            | Some tel ->
+                Format.printf
+                  "  telemetry (EWMA): %.0f tests/s, %.0f%% utilization, %.2f ms \
+                   queue wait, %.2f ms merge stall, %.2f freshness@."
+                  tel.Afex_cluster.Scheduler.throughput
+                  (100.0 *. tel.Afex_cluster.Scheduler.utilization)
+                  tel.Afex_cluster.Scheduler.queue_wait_ms
+                  tel.Afex_cluster.Scheduler.merge_stall_ms
+                  tel.Afex_cluster.Scheduler.freshness);
+            match trace_out with
+            | None -> ()
+            | Some path ->
+                Afex_cluster.Scheduler.Trace.save path
+                  (Afex_cluster.Scheduler.trace s);
+                Format.printf "scheduler trace (%d batches) written to %s@."
+                  (Afex_cluster.Scheduler.batches s)
+                  path);
         (match pool_stats with
         | None -> ()
         | Some (s, remote_stats) ->
@@ -389,6 +489,7 @@ let explore_cmd =
       const run $ target_arg $ strategy_arg $ iterations_arg $ seed_arg $ feedback_arg
       $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
       $ assess_arg $ jobs_arg $ batch_arg $ manager_arg $ inflight_arg $ latency_arg
+      $ adaptive_arg $ window_min_arg $ window_max_arg $ trace_arg $ replay_trace_arg
       $ verbose_arg)
 
 (* --- afex serve --- *)

@@ -133,7 +133,7 @@ type remote = {
 }
 
 type t = {
-  inflight : int;
+  mutable inflight : int;
   request_timeout_ms : int;
   now_ms : unit -> float;
   wheel : event Timer_wheel.t;
@@ -165,11 +165,9 @@ let create ?(remotes = []) ?(request_timeout_ms = 10_000)
       Array.of_list
         (List.map
            (fun spec ->
-             {
-               conn = Pipelined.create spec ~total_blocks;
-               not_before = 0.0;
-               seen_failures = 0;
-             })
+             let conn = Pipelined.create spec ~total_blocks in
+             Pipelined.set_credit conn inflight;
+             { conn; not_before = 0.0; seen_failures = 0 })
            remotes);
     rr = 0;
     n_local = 0;
@@ -180,6 +178,15 @@ let create ?(remotes = []) ?(request_timeout_ms = 10_000)
   }
 
 let inflight t = t.inflight
+
+(* The adaptive scheduler's knob, applied between batches: the dispatch
+   loop reads [t.inflight] on every iteration and each connection's
+   credit caps how much of the window can ride one wire. *)
+let set_inflight t inflight =
+  if inflight < 1 then
+    invalid_arg "Async_executor.set_inflight: inflight must be positive";
+  t.inflight <- inflight;
+  Array.iter (fun r -> Pipelined.set_credit r.conn inflight) t.remotes
 
 let stats t =
   {
@@ -298,7 +305,11 @@ let exec_batch t tasks =
       else begin
         let ix = (t.rr + k) mod m in
         let r = t.remotes.(ix) in
-        if Pipelined.dispatchable r.conn && t.now_ms () >= r.not_before then begin
+        if
+          Pipelined.dispatchable r.conn
+          && Pipelined.has_credit r.conn
+          && t.now_ms () >= r.not_before
+        then begin
           match Pipelined.submit r.conn ~tag:slot scenario with
           | Ok () ->
               t.rr <- (ix + 1) mod m;

@@ -85,6 +85,14 @@ val create :
 
 val inflight : t -> int
 
+val set_inflight : t -> int -> unit
+(** Retune the in-flight window — the adaptive {!Scheduler}'s knob. Takes
+    effect on the next dispatch round; each remote connection's
+    per-connection credit ({!Remote_manager.Pipelined.set_credit}) is
+    retuned to match, so no single manager can absorb more than the new
+    window. Call between batches.
+    @raise Invalid_argument if the window is not positive. *)
+
 val exec_batch : t -> task array -> (Afex_injector.Outcome.t, exn) result array
 (** Run a batch, up to [inflight] tests concurrent, remotes preferred
     (round-robin over dispatchable connections, backoff gates respected)

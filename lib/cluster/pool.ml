@@ -338,8 +338,8 @@ type source =
   | From_cache of Outcome.t
   | Duplicate of int  (* earlier submission index with the same scenario *)
 
-let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true)
-    ~iterations t config sub =
+let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
+    ?(memoize = true) ~iterations t config sub =
   if batch_size < 1 then invalid_arg "Pool.session: batch_size must be positive";
   let started = Unix.gettimeofday () in
   let explorer =
@@ -380,7 +380,13 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
     if !issued >= iterations || !exhausted || target_met () || time_exhausted ()
     then ()
     else begin
-      let want = min batch_size (iterations - !issued) in
+      (* The scheduler owns the window when present; [batch_size] is the
+         frozen default otherwise. *)
+      let window =
+        match scheduler with Some s -> Scheduler.window s | None -> batch_size
+      in
+      let batch_started = Unix.gettimeofday () in
+      let want = min window (iterations - !issued) in
       let batch_rng = Rng.split master in
       let rev_proposals = ref [] and count = ref 0 in
       while !count < want && not !exhausted do
@@ -460,7 +466,16 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
                       start;
                     })
         in
+        (* Phase boundaries for the scheduler's telemetry: everything up
+           to here ran sequentially on the explorer thread (generation),
+           exec_batch is the parallel window, the merge loop below is
+           explorer-thread feedback again. *)
+        let gen_done = Unix.gettimeofday () in
+        (match (scheduler, t.async) with
+        | Some s, Some a -> Async_executor.set_inflight a (Scheduler.window s)
+        | (Some _ | None), _ -> ());
         let results = exec_batch t (Array.of_list (List.rev !rev_tasks)) in
+        let exec_done = Unix.gettimeofday () in
         executed := !executed + Array.length results;
         (* Merge in submission order; the explorer learns from outcomes in
            the exact order candidates were generated. *)
@@ -492,6 +507,15 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
                   then stop_iteration := Some (Afex.Explorer.iterations explorer)
               | Some _ | None -> ())
         done;
+        (match scheduler with
+        | Some s ->
+            let merge_done = Unix.gettimeofday () in
+            Scheduler.observe s
+              ~gen_ms:(1000.0 *. (gen_done -. batch_started))
+              ~exec_ms:(1000.0 *. (exec_done -. gen_done))
+              ~merge_ms:(1000.0 *. (merge_done -. exec_done))
+              ~executed:(Array.length results) ~merged:n
+        | None -> ());
         loop ()
       end
     end
@@ -513,11 +537,11 @@ let session ?transform ?stop ?time_budget_ms ?(batch_size = 32) ?(memoize = true
       wall_ms = 1000.0 *. (Unix.gettimeofday () -. started);
     } )
 
-let run ?transform ?stop ?time_budget_ms ?batch_size ?memoize ?remotes ?inflight
-    ?request_timeout_ms ~jobs ~iterations config sub executor =
+let run ?scheduler ?transform ?stop ?time_budget_ms ?batch_size ?memoize ?remotes
+    ?inflight ?request_timeout_ms ~jobs ~iterations config sub executor =
   let t = create ?remotes ?inflight ?request_timeout_ms ~jobs executor in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
-      session ?transform ?stop ?time_budget_ms ?batch_size ?memoize ~iterations t
-        config sub)
+      session ?scheduler ?transform ?stop ?time_budget_ms ?batch_size ?memoize
+        ~iterations t config sub)

@@ -96,6 +96,7 @@ type stats = {
 }
 
 val session :
+  ?scheduler:Scheduler.t ->
   ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
   ?stop:Afex.Session.stop ->
   ?time_budget_ms:float ->
@@ -118,9 +119,20 @@ val session :
     {!Afex.Session.run}'s candidate stream.
 
     [memoize] (default [true]) enables the outcome cache for [Pure]
-    executors; it is ignored for [Seeded] ones. *)
+    executors; it is ignored for [Seeded] ones.
+
+    [scheduler] hands window control (and its telemetry) to a
+    {!Scheduler}: each batch uses [Scheduler.window] instead of
+    [batch_size], phase timings are fed back through
+    [Scheduler.observe], and in event-loop mode the executor's
+    [inflight] (plus each remote connection's credit) is retuned to the
+    window at every batch boundary. Since outcomes still merge in
+    submission order, the explored history depends only on the seed and
+    the window {e sequence} — which the scheduler's trace records, so an
+    adaptive run replays bit-identically via [Scheduler.Replay]. *)
 
 val run :
+  ?scheduler:Scheduler.t ->
   ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
   ?stop:Afex.Session.stop ->
   ?time_budget_ms:float ->

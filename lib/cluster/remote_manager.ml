@@ -225,6 +225,7 @@ module Pipelined = struct
     outstanding : (int, int) Hashtbl.t; (* wire seq -> caller tag *)
     mutable orphans : int list;
     mutable seq : int;
+    mutable credit : int; (* in-flight cap; the scheduler's knob *)
     mutable failures : int; (* consecutive connection-level failures *)
     mutable n_requests : int;
     mutable n_retries : int;
@@ -240,6 +241,7 @@ module Pipelined = struct
       outstanding = Hashtbl.create 16;
       orphans = [];
       seq = 0;
+      credit = max_int;
       failures = 0;
       n_requests = 0;
       n_retries = 0;
@@ -249,6 +251,13 @@ module Pipelined = struct
 
   let name t = t.spec.name
   let pending t = Hashtbl.length t.outstanding
+  let credit t = t.credit
+
+  let set_credit t credit =
+    if credit < 1 then invalid_arg "Pipelined.set_credit: credit must be positive";
+    t.credit <- credit
+
+  let has_credit t = Hashtbl.length t.outstanding < t.credit
 
   let awaiting t tag =
     Hashtbl.fold (fun _ tg acc -> acc || tg = tag) t.outstanding false

@@ -140,6 +140,21 @@ module Pipelined : sig
   val pending : conn -> int
   (** Requests on the wire awaiting a response. *)
 
+  val credit : conn -> int
+  (** Per-connection in-flight budget: how many requests may ride this
+      connection concurrently. Starts effectively unbounded ([max_int]);
+      the adaptive scheduler retunes it with the window
+      ([Async_executor.set_inflight]). *)
+
+  val set_credit : conn -> int -> unit
+  (** @raise Invalid_argument if the credit is not positive. *)
+
+  val has_credit : conn -> bool
+  (** [pending < credit]: one more {!submit} is within budget. Callers
+      enforce the budget (dispatchers skip a creditless connection);
+      {!submit} itself never blocks or refuses on credit, so a manual
+      override stays possible. *)
+
   val awaiting : conn -> int -> bool
   (** [awaiting conn tag]: is [tag] still on this connection's wire? A
       request timer that fires after its test already completed (or was

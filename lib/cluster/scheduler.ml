@@ -1,0 +1,409 @@
+module Rng = Afex_stats.Rng
+
+let src = Logs.Src.create "afex.scheduler" ~doc:"Adaptive in-flight window control"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+module Trace = struct
+  type decision = Hold | Grow | Shrink | Replayed
+
+  type entry = {
+    batch : int;
+    window : int;
+    next_window : int;
+    decision : decision;
+    gen_ms : float;
+    exec_ms : float;
+    merge_ms : float;
+    executed : int;
+    merged : int;
+    throughput : float;
+    utilization : float;
+    queue_wait_ms : float;
+    merge_stall_ms : float;
+    freshness : float;
+  }
+
+  type t = entry list
+
+  let decision_to_string = function
+    | Hold -> "hold"
+    | Grow -> "grow"
+    | Shrink -> "shrink"
+    | Replayed -> "replay"
+
+  let decision_of_string = function
+    | "hold" -> Ok Hold
+    | "grow" -> Ok Grow
+    | "shrink" -> Ok Shrink
+    | "replay" -> Ok Replayed
+    | s -> Error (Printf.sprintf "unknown decision %S" s)
+
+  let windows t = Array.of_list (List.map (fun e -> e.window) t)
+
+  (* The file format is deliberately line-oriented: one header line, one
+     entry per line, whitespace-separated. Replay only needs [window],
+     but the whole record round-trips so traces double as telemetry
+     exports. *)
+  let header = "afex-trace 1"
+
+  let entry_to_line e =
+    Printf.sprintf "%d %d %d %s %.6f %.6f %.6f %d %d %.6f %.6f %.6f %.6f %.6f"
+      e.batch e.window e.next_window
+      (decision_to_string e.decision)
+      e.gen_ms e.exec_ms e.merge_ms e.executed e.merged e.throughput
+      e.utilization e.queue_wait_ms e.merge_stall_ms e.freshness
+
+  let to_string t =
+    String.concat "\n" (header :: List.map entry_to_line t) ^ "\n"
+
+  let entry_of_line lineno line =
+    let fail msg = Error (Printf.sprintf "trace line %d: %s" lineno msg) in
+    match String.split_on_char ' ' (String.trim line) with
+    | [
+     batch; window; next_window; decision; gen_ms; exec_ms; merge_ms; executed;
+     merged; throughput; utilization; queue_wait_ms; merge_stall_ms; freshness;
+    ] -> (
+        let int s = int_of_string_opt s and fl s = float_of_string_opt s in
+        match
+          ( int batch,
+            int window,
+            int next_window,
+            decision_of_string decision,
+            int executed,
+            int merged,
+            ( fl gen_ms,
+              fl exec_ms,
+              fl merge_ms,
+              fl throughput,
+              fl utilization,
+              fl queue_wait_ms,
+              fl merge_stall_ms,
+              fl freshness ) )
+        with
+        | ( Some batch,
+            Some window,
+            Some next_window,
+            Ok decision,
+            Some executed,
+            Some merged,
+            ( Some gen_ms,
+              Some exec_ms,
+              Some merge_ms,
+              Some throughput,
+              Some utilization,
+              Some queue_wait_ms,
+              Some merge_stall_ms,
+              Some freshness ) ) ->
+            if window < 1 || next_window < 1 then fail "window must be positive"
+            else
+              Ok
+                {
+                  batch;
+                  window;
+                  next_window;
+                  decision;
+                  gen_ms;
+                  exec_ms;
+                  merge_ms;
+                  executed;
+                  merged;
+                  throughput;
+                  utilization;
+                  queue_wait_ms;
+                  merge_stall_ms;
+                  freshness;
+                }
+        | _ -> fail "malformed entry")
+    | _ -> fail "expected 14 whitespace-separated fields"
+
+  let of_string s =
+    match String.split_on_char '\n' s with
+    | [] -> Error "empty trace"
+    | first :: rest ->
+        if String.trim first <> header then
+          Error
+            (Printf.sprintf "bad trace header %S (expected %S)"
+               (String.trim first) header)
+        else begin
+          let rec go lineno acc = function
+            | [] -> Ok (List.rev acc)
+            | line :: rest when String.trim line = "" -> go (lineno + 1) acc rest
+            | line :: rest -> (
+                match entry_of_line lineno line with
+                | Ok e -> go (lineno + 1) (e :: acc) rest
+                | Error _ as e -> e)
+          in
+          go 2 [] rest
+        end
+
+  let save path t =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string t))
+
+  let load path =
+    match open_in path with
+    | exception Sys_error msg -> Error msg
+    | ic ->
+        let n = in_channel_length ic in
+        let contents = really_input_string ic n in
+        close_in ic;
+        of_string contents
+
+  let to_json t =
+    let entry e =
+      String.concat ", "
+        [
+          Printf.sprintf "\"batch\": %d" e.batch;
+          Printf.sprintf "\"window\": %d" e.window;
+          Printf.sprintf "\"next_window\": %d" e.next_window;
+          Printf.sprintf "\"decision\": %S" (decision_to_string e.decision);
+          Printf.sprintf "\"gen_ms\": %.4f" e.gen_ms;
+          Printf.sprintf "\"exec_ms\": %.4f" e.exec_ms;
+          Printf.sprintf "\"merge_ms\": %.4f" e.merge_ms;
+          Printf.sprintf "\"executed\": %d" e.executed;
+          Printf.sprintf "\"merged\": %d" e.merged;
+          Printf.sprintf "\"throughput\": %.2f" e.throughput;
+          Printf.sprintf "\"utilization\": %.4f" e.utilization;
+          Printf.sprintf "\"queue_wait_ms\": %.4f" e.queue_wait_ms;
+          Printf.sprintf "\"merge_stall_ms\": %.4f" e.merge_stall_ms;
+          Printf.sprintf "\"freshness\": %.4f" e.freshness;
+        ]
+    in
+    "[" ^ String.concat ", " (List.map (fun e -> "{" ^ entry e ^ "}") t) ^ "]"
+end
+
+type telemetry = {
+  utilization : float;
+  queue_wait_ms : float;
+  merge_stall_ms : float;
+  freshness : float;
+  throughput : float;
+}
+
+type mode = Static | Adaptive | Replay of int array
+
+(* Which way the last window change went; the hill-climb needs it to
+   read a throughput delta as a gradient. Comparing against the previous
+   batch without it spirals: a spurious shrink lowers throughput, which
+   reads as "worse", which shrinks again. *)
+type dir = Up | Down | Flat
+
+(* The AIMD hill-climb keeps three pieces of controller state beyond the
+   window itself: the previous batch's throughput, the direction of the
+   last move (together they estimate the local gradient), and whether
+   the multiplicative slow-start ramp is still on. *)
+type t = {
+  mode : mode;
+  window_min : int;
+  window_max : int;
+  step : int;
+  decrease : float;
+  epsilon : float;
+  alpha : float;
+  rng : Rng.t;
+  mutable window : int;
+  mutable batches : int;
+  mutable prev_throughput : float option;
+  mutable dir : dir;
+  mutable slow_start : bool;
+  mutable suspect : bool;
+      (* one unconfirmed regression seen; shrink only if the next batch
+         confirms it against the same (pre-drop) reference *)
+  mutable tel : telemetry option;
+  mutable trace_rev : Trace.entry list;
+}
+
+let create ?(window_min = 1) ?(window_max = 128) ?(initial = 32) ?(step = 8)
+    ?(decrease = 0.5) ?(epsilon = 0.1) ?(alpha = 0.3) ?(seed = 0) mode =
+  if window_min < 1 || window_max < window_min then
+    invalid_arg "Scheduler.create: need 1 <= window_min <= window_max";
+  if step < 1 then invalid_arg "Scheduler.create: step must be positive";
+  if decrease <= 0.0 || decrease >= 1.0 then
+    invalid_arg "Scheduler.create: decrease must be in (0, 1)";
+  if epsilon < 0.0 then invalid_arg "Scheduler.create: epsilon must be >= 0";
+  if alpha <= 0.0 || alpha > 1.0 then
+    invalid_arg "Scheduler.create: alpha must be in (0, 1]";
+  let clamp w = max window_min (min window_max w) in
+  let window =
+    match mode with
+    | Replay ws ->
+        if Array.length ws = 0 then
+          invalid_arg "Scheduler.create: cannot replay an empty trace";
+        clamp ws.(0)
+    | Static | Adaptive -> clamp initial
+  in
+  {
+    mode;
+    window_min;
+    window_max;
+    step;
+    decrease;
+    epsilon;
+    alpha;
+    rng = Rng.create seed;
+    window;
+    batches = 0;
+    prev_throughput = None;
+    dir = Flat;
+    slow_start = true;
+    suspect = false;
+    tel = None;
+    trace_rev = [];
+  }
+
+let window t = t.window
+let batches t = t.batches
+let bounds t = (t.window_min, t.window_max)
+let trace t = List.rev t.trace_rev
+let telemetry t = t.tel
+
+let clamp t w = max t.window_min (min t.window_max w)
+
+(* One AIMD hill-climbing step on the measured throughput. The
+   throughput delta against the previous batch is read through the
+   direction of the last move: improvement keeps moving the same way
+   (doubling while the slow-start ramp holds, additively after),
+   regression after a grow is a multiplicative decrease (the overshoot
+   revert), and regression after a shrink turns back upward — so a
+   single noisy measurement costs one probe, never a spiral. Ties —
+   relative change within [epsilon] — flip a seeded coin between holding
+   and probing upward, so two runs with identical measurements and seeds
+   decide identically. *)
+let decide t throughput =
+  match t.mode with
+  | Replay ws ->
+      let next = t.batches + 1 in
+      let w = ws.(min next (Array.length ws - 1)) in
+      (Trace.Replayed, clamp t w)
+  | Static -> (Trace.Hold, t.window)
+  | Adaptive -> (
+      match t.prev_throughput with
+      | None ->
+          t.prev_throughput <- Some throughput;
+          t.dir <- Up;
+          (Trace.Grow, clamp t (t.window * 2))
+      | Some prev ->
+          let better = throughput > prev *. (1.0 +. t.epsilon) in
+          let worse = throughput < prev *. (1.0 -. t.epsilon) in
+          if better then begin
+            t.prev_throughput <- Some throughput;
+            t.suspect <- false;
+            match t.dir with
+            | Down ->
+                (* Shrinking helped: keep refining downward, gently. *)
+                (Trace.Shrink, clamp t (t.window - t.step))
+            | Up | Flat ->
+                if t.slow_start then (Trace.Grow, clamp t (t.window * 2))
+                else (Trace.Grow, clamp t (t.window + t.step))
+          end
+          else if worse then begin
+            match t.dir with
+            | (Up | Flat) when not t.suspect ->
+                (* Per-batch measurements are noisy; hold the window and
+                   the pre-drop reference, and only shrink if the next
+                   batch confirms the regression against it. *)
+                t.suspect <- true;
+                (Trace.Hold, t.window)
+            | Up | Flat ->
+                t.prev_throughput <- Some throughput;
+                t.suspect <- false;
+                t.slow_start <- false;
+                t.dir <- Down;
+                ( Trace.Shrink,
+                  clamp t (int_of_float (float_of_int t.window *. t.decrease)) )
+            | Down ->
+                (* The shrink was the mistake: turn back multiplicatively
+                   and re-arm the ramp. Reverting additively would make
+                   the climb back linear while every fall is geometric —
+                   one noisy batch would then cost a dozen recovering. *)
+                t.prev_throughput <- Some throughput;
+                t.suspect <- false;
+                t.dir <- Up;
+                t.slow_start <- true;
+                ( Trace.Grow,
+                  clamp t
+                    (int_of_float
+                       (Float.round (float_of_int t.window /. t.decrease))) )
+          end
+          else begin
+            t.prev_throughput <- Some throughput;
+            t.suspect <- false;
+            t.slow_start <- false;
+            if Rng.bool t.rng then begin
+              t.dir <- Up;
+              (Trace.Grow, clamp t (t.window + t.step))
+            end
+            else begin
+              t.dir <- Flat;
+              (Trace.Hold, t.window)
+            end
+          end)
+
+let observe t ~gen_ms ~exec_ms ~merge_ms ~executed ~merged =
+  let gen_ms = Float.max 0.0 gen_ms
+  and exec_ms = Float.max 0.0 exec_ms
+  and merge_ms = Float.max 0.0 merge_ms in
+  let wall_ms = gen_ms +. exec_ms +. merge_ms in
+  let throughput =
+    if wall_ms <= 0.0 then 0.0 else 1000.0 *. float_of_int merged /. wall_ms
+  in
+  (* Workers only make progress during the execution phase; generation
+     and merge happen sequentially on the explorer thread. *)
+  let utilization = if wall_ms <= 0.0 then 0.0 else exec_ms /. wall_ms in
+  (* A candidate generated midway through the batch waits for the rest
+     of the window to be generated before dispatch: half the generation
+     phase on average. *)
+  let queue_wait_ms = gen_ms /. 2.0 in
+  let merge_stall_ms = merge_ms in
+  (* Mean fitness-feedback lag, in candidates: submission i of an
+     n-candidate window has n-1-i later submissions executed before its
+     outcome reaches sensitivity, so the batch average is (n-1)/2. *)
+  let freshness =
+    let n = max 1 merged in
+    1.0 /. (1.0 +. (float_of_int (n - 1) /. 2.0))
+  in
+  let decision, next_window = decide t throughput in
+  let entry =
+    {
+      Trace.batch = t.batches;
+      window = t.window;
+      next_window;
+      decision;
+      gen_ms;
+      exec_ms;
+      merge_ms;
+      executed;
+      merged;
+      throughput;
+      utilization;
+      queue_wait_ms;
+      merge_stall_ms;
+      freshness;
+    }
+  in
+  t.trace_rev <- entry :: t.trace_rev;
+  let ewma prev x =
+    match prev with None -> x | Some p -> (t.alpha *. x) +. ((1.0 -. t.alpha) *. p)
+  in
+  let prev = t.tel in
+  t.tel <-
+    Some
+      {
+        utilization = ewma (Option.map (fun p -> p.utilization) prev) utilization;
+        queue_wait_ms =
+          ewma (Option.map (fun p -> p.queue_wait_ms) prev) queue_wait_ms;
+        merge_stall_ms =
+          ewma (Option.map (fun p -> p.merge_stall_ms) prev) merge_stall_ms;
+        freshness = ewma (Option.map (fun p -> p.freshness) prev) freshness;
+        throughput = ewma (Option.map (fun p -> p.throughput) prev) throughput;
+      };
+  if next_window <> t.window then
+    Log.debug (fun m ->
+        m "batch %d: window %d -> %d (%s, %.0f/s)" t.batches t.window next_window
+          (Trace.decision_to_string decision)
+          throughput);
+  t.batches <- t.batches + 1;
+  t.window <- next_window

@@ -1,0 +1,148 @@
+(** Adaptive in-flight window control with scheduler telemetry.
+
+    The pool's batch window (how many candidates the explorer keeps in
+    flight per dispatch round) trades search {e freshness} — fitness
+    feedback reaching the explorer while it still matters — against
+    worker {e utilization} — never letting an executor idle between
+    batches. The seed repo froze that trade-off at a hand-picked 32;
+    this module measures it per batch and, optionally, tunes it online.
+
+    Three layers:
+
+    - {b Telemetry}: every batch is decomposed into its generation,
+      execution and merge phases; from those the scheduler derives
+      worker utilization, queue wait, merge stall, a freshness score and
+      throughput, each smoothed by an EWMA and recorded raw in the
+      {!Trace}.
+    - {b Control}: an AIMD hill-climb over the window size — a
+      multiplicative slow-start ramp while throughput keeps improving,
+      then additive increase / multiplicative decrease around the knee.
+      Deltas are read through the direction of the last move (a
+      regression right after a shrink turns the probe back upward, so a
+      noisy batch costs one step, never a spiral), the window is bounded
+      to [\[window_min, window_max\]], with seeded tie-breaking
+      inside the measurement dead-band so runs with equal measurements
+      make equal choices.
+    - {b Replay}: adaptive decisions depend on wall-clock measurements
+      and are therefore not reproducible from the seed alone. Every
+      decision is recorded in the trace, and a {!mode} of [Replay]
+      re-applies the recorded window sequence verbatim, so a replayed
+      adaptive campaign explores a bit-identical history. *)
+
+(** The per-batch record of what the scheduler saw and decided. *)
+module Trace : sig
+  type decision =
+    | Hold  (** measurement inside the dead-band; window kept *)
+    | Grow  (** additive (or slow-start) increase *)
+    | Shrink  (** multiplicative decrease after a regression *)
+    | Replayed  (** window forced by a replayed trace *)
+
+  type entry = {
+    batch : int;  (** 0-based batch index *)
+    window : int;  (** window used for this batch *)
+    next_window : int;  (** the controller's choice for the next batch *)
+    decision : decision;
+    gen_ms : float;  (** candidate generation (explorer) time *)
+    exec_ms : float;  (** dispatch-to-last-completion time *)
+    merge_ms : float;  (** outcome merge (explorer feedback) time *)
+    executed : int;  (** scenarios actually run on a worker *)
+    merged : int;  (** candidates merged, cache hits included *)
+    throughput : float;  (** merged candidates per second of batch wall *)
+    utilization : float;  (** fraction of batch wall with workers busy *)
+    queue_wait_ms : float;  (** mean candidate wait before dispatch *)
+    merge_stall_ms : float;  (** worker idle time while outcomes merge *)
+    freshness : float;
+        (** 1/(1 + mean feedback lag in candidates): 1.0 at window 1,
+            falling as the window widens and fitness feedback staling *)
+  }
+
+  type t = entry list
+  (** Chronological. *)
+
+  val decision_to_string : decision -> string
+  val decision_of_string : string -> (decision, string) result
+
+  val windows : t -> int array
+  (** The per-batch window sequence — all a {!Scheduler.mode} of
+      [Replay] needs to reproduce the campaign. *)
+
+  val to_string : t -> string
+  (** Versioned line-oriented serialization (one entry per line behind
+      an [afex-trace 1] header) — what [afex explore --trace FILE]
+      writes and [--replay-trace FILE] reads back. *)
+
+  val of_string : string -> (t, string) result
+  (** Inverse of {!to_string}; rejects unknown versions and malformed
+      lines with a description. *)
+
+  val save : string -> t -> unit
+  val load : string -> (t, string) result
+
+  val to_json : t -> string
+  (** The trace as a JSON array of per-batch objects (embedded in
+      [BENCH_adapt.json] so the perf trajectory of the controller is
+      machine-readable). *)
+end
+
+type telemetry = {
+  utilization : float;
+  queue_wait_ms : float;
+  merge_stall_ms : float;
+  freshness : float;
+  throughput : float;  (** candidates per second *)
+}
+(** EWMA-smoothed view over the batches observed so far. *)
+
+(** How the window evolves at batch boundaries. *)
+type mode =
+  | Static  (** keep the initial window; record telemetry only *)
+  | Adaptive  (** AIMD hill-climbing on measured throughput *)
+  | Replay of int array
+      (** force the recorded per-batch window sequence; batches beyond
+          the end of the array reuse its last window *)
+
+type t
+
+val create :
+  ?window_min:int ->
+  ?window_max:int ->
+  ?initial:int ->
+  ?step:int ->
+  ?decrease:float ->
+  ?epsilon:float ->
+  ?alpha:float ->
+  ?seed:int ->
+  mode ->
+  t
+(** Defaults: [window_min 1], [window_max 128], [initial 32] (clamped to
+    the bounds), additive [step 8], multiplicative [decrease 0.5],
+    dead-band [epsilon 0.1] (relative throughput change below which a
+    measurement is a tie — wider than per-batch measurement noise, or
+    the controller chases it), EWMA [alpha 0.3], [seed 0] (tie-breaking
+    only).
+    @raise Invalid_argument on an empty or non-positive window range,
+    [step < 1], [decrease] outside (0, 1), [epsilon < 0] or [alpha]
+    outside (0, 1]. *)
+
+val window : t -> int
+(** The window to use for the next batch. Always within bounds. *)
+
+val observe :
+  t ->
+  gen_ms:float ->
+  exec_ms:float ->
+  merge_ms:float ->
+  executed:int ->
+  merged:int ->
+  unit
+(** Feed one finished batch's phase timings back: records the trace
+    entry, updates the EWMAs, and (in [Adaptive] mode) retunes the
+    window for the next batch. Call exactly once per batch, after the
+    merge. *)
+
+val telemetry : t -> telemetry option
+(** [None] until the first {!observe}. *)
+
+val trace : t -> Trace.t
+val batches : t -> int
+val bounds : t -> int * int

@@ -150,6 +150,33 @@ let test_wheel_expiry_order_property () =
       in
       fired = expected && TW.pending w = 0)
 
+let test_wheel_zero_delay () =
+  (* A deadline equal to now (or already past — clamped to now) must fire
+     on the very next advance, without the clock moving at all. *)
+  let w = TW.create ~granularity_ms:1.0 ~slots:16 ~now_ms:5.0 () in
+  ignore (TW.schedule w ~at_ms:5.0 "now");
+  ignore (TW.schedule w ~at_ms:1.0 "past");
+  checki "both pending" 2 (TW.pending w);
+  checkb "zero-delay entries fire without time passing" true
+    (TW.advance w ~now_ms:5.0 = [ "now"; "past" ]);
+  checki "drained" 0 (TW.pending w);
+  checkb "no deadline left" true (TW.next_deadline w = None)
+
+let test_wheel_shared_deadline_bucket () =
+  (* Jobs sharing one exact deadline land in one slot: all must fire
+     together in scheduling order, and cancelling one must not take its
+     bucket-mates with it. *)
+  let w = TW.create ~granularity_ms:1.0 ~slots:8 ~now_ms:0.0 () in
+  let a = TW.schedule w ~at_ms:3.0 "a" in
+  ignore (TW.schedule w ~at_ms:3.0 "b");
+  ignore (TW.schedule w ~at_ms:3.0 "c");
+  checkf "one shared deadline" 3.0 (Option.get (TW.next_deadline w));
+  TW.cancel w a;
+  checki "two survivors after cancel" 2 (TW.pending w);
+  checkb "survivors fire together, in scheduling order" true
+    (TW.advance w ~now_ms:3.0 = [ "b"; "c" ]);
+  checki "bucket empty" 0 (TW.pending w)
+
 (* --- history determinism across inflight ------------------------------ *)
 
 let latency_async () =
@@ -460,6 +487,81 @@ let test_chaos_under_pipelining () =
     (stats.Pool.remote_runs > 0);
   checkb "chaos forced local fallbacks" true (stats.Pool.remote_fallbacks > 0)
 
+let test_pipelined_fail_cancels_awaiting () =
+  (* The straggler path: a request is on the wire, the manager dies, and
+     the caller declares the connection dead while it is gated behind its
+     reconnect backoff. The awaiting entry must be cancelled (so a stale
+     request timer firing later finds [awaiting = false] and is a no-op),
+     the tag must come back exactly once via take_orphans, and repeated
+     deaths must spend the retry budget. *)
+  let exec = executor () in
+  let slow =
+    Afex.Executor.sync_of_async
+      (Afex.Executor.delayed ~delay_ms:(fun _ -> 200.0) exec)
+  in
+  let lb = RM.Loopback.create ~executor:slow () in
+  let spec = RM.Loopback.spec ~max_attempts:2 ~backoff_ms:5.0 lb in
+  let conn =
+    RM.Pipelined.create spec ~total_blocks:exec.Afex.Executor.total_blocks
+  in
+  let scenario = List.hd (sample_scenarios 1) in
+  (match RM.Pipelined.submit conn ~tag:7 scenario with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "submit: %s" (RM.string_of_error e));
+  checkb "request is on the wire" true (RM.Pipelined.awaiting conn 7);
+  RM.Pipelined.fail conn;
+  checkb "awaiting cancelled by the death" false (RM.Pipelined.awaiting conn 7);
+  checkb "orphaned exactly once" true (RM.Pipelined.take_orphans conn = [ 7 ]);
+  checkb "a second take finds nothing" true (RM.Pipelined.take_orphans conn = []);
+  checki "one consecutive failure" 1 (RM.Pipelined.failures conn);
+  checkb "backoff surfaced as data, never a sleep" true
+    (RM.Pipelined.backoff_ms conn >= 5.0);
+  checkb "still dispatchable before the budget is spent" true
+    (RM.Pipelined.dispatchable conn);
+  (* The remote dies again mid-backoff, before any reconnect: no request
+     is in flight, so no phantom orphan may appear — but the failure must
+     still count against the budget. *)
+  RM.Pipelined.fail conn;
+  checki "failures accumulate" 2 (RM.Pipelined.failures conn);
+  checkb "no phantom orphans" true (RM.Pipelined.take_orphans conn = []);
+  checkb "written off after max_attempts" true (RM.Pipelined.abandoned conn);
+  checkb "an abandoned manager is never dispatched to" false
+    (RM.Pipelined.dispatchable conn);
+  RM.Pipelined.close conn;
+  RM.Loopback.shutdown lb
+
+let test_async_zero_delay_jobs () =
+  (* delay 0: every job's readiness estimate is already due at dispatch.
+     The loop must complete the batch without spinning and the outcomes
+     must match a synchronous run. *)
+  let exec = executor () in
+  let instant = Afex.Executor.delayed ~delay_ms:(fun _ -> 0.0) exec in
+  let scenarios = Array.of_list (sample_scenarios 6) in
+  let ae =
+    AE.create ~inflight:3 ~total_blocks:exec.Afex.Executor.total_blocks ()
+  in
+  let tasks =
+    Array.map
+      (fun scenario ->
+        {
+          AE.scenario = Some scenario;
+          start = (fun () -> instant.Afex.Executor.start scenario);
+        })
+      scenarios
+  in
+  let results = AE.exec_batch ae tasks in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | Ok outcome ->
+          checkb
+            (Printf.sprintf "zero-delay job %d matches the sync outcome" i)
+            true
+            (outcome_equal outcome (exec.Afex.Executor.run_scenario scenarios.(i)))
+      | Error _ -> Alcotest.failf "zero-delay job %d failed" i)
+    results;
+  checki "all ran locally" 6 (AE.stats ae).AE.local_runs
+
 (* --- fd-backed jobs ---------------------------------------------------- *)
 
 let test_fd_backed_jobs_overlap () =
@@ -537,6 +639,9 @@ let suite =
     Alcotest.test_case "wheel: cancel" `Quick test_wheel_cancel;
     Alcotest.test_case "wheel: expiry ordering (property)" `Quick
       test_wheel_expiry_order_property;
+    Alcotest.test_case "wheel: zero-delay deadlines" `Quick test_wheel_zero_delay;
+    Alcotest.test_case "wheel: shared deadline bucket" `Quick
+      test_wheel_shared_deadline_bucket;
     Alcotest.test_case "history identical across inflight" `Quick
       test_history_identical_across_inflight;
     Alcotest.test_case "async session counts pinned" `Quick
@@ -553,5 +658,8 @@ let suite =
     Alcotest.test_case "dead remote backoff never blocks" `Quick
       test_dead_remote_backoff_never_blocks;
     Alcotest.test_case "chaos under pipelining" `Quick test_chaos_under_pipelining;
+    Alcotest.test_case "pipelined fail cancels awaiting" `Quick
+      test_pipelined_fail_cancels_awaiting;
+    Alcotest.test_case "zero-delay async jobs" `Quick test_async_zero_delay_jobs;
     Alcotest.test_case "fd-backed jobs overlap" `Quick test_fd_backed_jobs_overlap;
   ]

@@ -8,9 +8,11 @@ let () =
       ("injector", Test_injector.suite);
       ("quality", Test_quality.suite);
       ("core", Test_core.suite);
+      ("prop_core", Test_prop_core.suite);
       ("cluster", Test_cluster.suite);
       ("transport", Test_transport.suite);
       ("async", Test_async.suite);
+      ("sched", Test_sched.suite);
       ("pool", Test_pool.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);

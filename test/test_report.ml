@@ -125,6 +125,44 @@ let test_operational_summary () =
   let s = Session_report.operational_summary r in
   checkb "tests executed line" true (contains s "tests executed    : 300")
 
+(* --- golden replay regression --- *)
+
+let test_golden_apache_export () =
+  (* Re-run the campaign the committed golden file was generated from
+     (afex explore --target apache --seed 7 -n 60 --batch 8 --jobs 1)
+     and byte-diff the JSON export. Any change to the mutator, the
+     pqueue, the RNG stream, the pool's merge order or the export format
+     shows up here as a one-line diff against a file under version
+     control — regenerate it deliberately, never silently. *)
+  let golden_path = "golden/apache_seed7_n60_b8.json" in
+  let golden =
+    let ic = open_in_bin golden_path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let result, _ =
+    Afex_cluster.Pool.run ~batch_size:8 ~jobs:1 ~iterations:60
+      (Config.fitness_guided ~seed:7 ())
+      (Apache.space ())
+      (Afex_cluster.Pool.Pure (Afex.Executor.of_target (Apache.target ())))
+  in
+  let fresh = Afex_report.Export.summary_to_json ~target:"apache" result in
+  if fresh <> golden then begin
+    let first_diff =
+      let n = min (String.length fresh) (String.length golden) in
+      let rec go i = if i < n && fresh.[i] = golden.[i] then go (i + 1) else i in
+      go 0
+    in
+    Alcotest.failf
+      "explored history drifted from the golden export (first diff at byte %d): %s"
+      first_diff
+      (String.sub fresh
+         (max 0 (first_diff - 20))
+         (min 60 (String.length fresh - max 0 (first_diff - 20))))
+  end
+
 let suite =
   List.map (fun (n, f) -> Alcotest.test_case n `Quick f)
     [
@@ -139,4 +177,5 @@ let suite =
       ("replay suite", test_replay_suite);
       ("session report sections", test_session_report_sections);
       ("operational summary", test_operational_summary);
+      ("golden apache export", test_golden_apache_export);
     ]

@@ -1,0 +1,450 @@
+(* Tests for the adaptive in-flight window controller: the AIMD
+   hill-climb's decision table, trace (de)serialization and replay,
+   telemetry EWMAs, the per-connection credit plumbing, and the
+   end-to-end record/replay determinism guarantee through the pool. *)
+
+module Scheduler = Afex_cluster.Scheduler
+module Trace = Afex_cluster.Scheduler.Trace
+module Pool = Afex_cluster.Pool
+module RM = Afex_cluster.Remote_manager
+module AE = Afex_cluster.Async_executor
+module Config = Afex.Config
+module Session = Afex.Session
+module Test_case = Afex.Test_case
+module Point = Afex_faultspace.Point
+module Outcome = Afex_injector.Outcome
+module Apache = Afex_simtarget.Apache
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* Feed one synthetic batch whose throughput is exactly [tp]
+   candidates/second: 100 ms of pure execution, merged = tp / 10. *)
+let feed s tp =
+  let merged = int_of_float (tp /. 10.0) in
+  Scheduler.observe s ~gen_ms:0.0 ~exec_ms:100.0 ~merge_ms:0.0 ~executed:merged
+    ~merged
+
+let last_decision s =
+  match List.rev (Scheduler.trace s) with
+  | [] -> Alcotest.fail "empty trace"
+  | e :: _ -> e.Trace.decision
+
+let decision =
+  Alcotest.testable
+    (fun ppf d -> Format.pp_print_string ppf (Trace.decision_to_string d))
+    (fun a b -> a = b)
+
+(* --- controller decision table -------------------------------------- *)
+
+let test_first_observe_doubles () =
+  let s = Scheduler.create ~initial:8 Scheduler.Adaptive in
+  checki "initial window" 8 (Scheduler.window s);
+  feed s 100.0;
+  checki "first observe doubles" 16 (Scheduler.window s);
+  Alcotest.check decision "recorded as grow" Trace.Grow (last_decision s);
+  checki "one batch recorded" 1 (Scheduler.batches s)
+
+let test_slow_start_doubles_while_improving () =
+  let s = Scheduler.create ~initial:4 ~window_max:512 Scheduler.Adaptive in
+  feed s 100.0;
+  feed s 150.0;
+  feed s 250.0;
+  feed s 400.0;
+  (* 4 -> 8 (first observe) -> 16 -> 32 -> 64: multiplicative while every
+     batch beats the last by more than the dead-band. *)
+  checki "three doublings after the first" 64 (Scheduler.window s);
+  checkb "all decisions are grow" true
+    (List.for_all (fun e -> e.Trace.decision = Trace.Grow) (Scheduler.trace s))
+
+let test_regression_needs_confirmation () =
+  let s = Scheduler.create ~initial:8 Scheduler.Adaptive in
+  feed s 100.0;
+  (* window 16, dir Up, reference 100/s *)
+  feed s 50.0;
+  checki "first regression holds the window" 16 (Scheduler.window s);
+  Alcotest.check decision "suspect batch is a hold" Trace.Hold
+    (last_decision s);
+  feed s 50.0;
+  (* confirmed against the same pre-drop reference: multiplicative cut *)
+  checki "confirmed regression shrinks" 8 (Scheduler.window s);
+  Alcotest.check decision "recorded as shrink" Trace.Shrink (last_decision s)
+
+let test_noisy_batch_costs_nothing () =
+  (* One bad measurement sandwiched between good ones: the suspect flag
+     absorbs it and the reference survives, so the recovery batch reads
+     as a tie against the pre-drop throughput, never as an improvement
+     that would restart the ramp from a shrunken window. *)
+  let s = Scheduler.create ~initial:8 Scheduler.Adaptive in
+  feed s 100.0;
+  feed s 30.0;
+  checki "dip held" 16 (Scheduler.window s);
+  feed s 101.0;
+  checkb "window never shrank" true (Scheduler.window s >= 16)
+
+let test_mistaken_shrink_reverts_multiplicatively () =
+  let s = Scheduler.create ~initial:8 Scheduler.Adaptive in
+  feed s 100.0;
+  (* window 16 *)
+  feed s 50.0;
+  feed s 50.0;
+  (* confirmed: window 8, dir Down, reference 50/s *)
+  checki "shrunk" 8 (Scheduler.window s);
+  feed s 30.0;
+  (* worse after a shrink: the shrink was the mistake — turn back
+     multiplicatively (8 / 0.5) and re-arm slow start. *)
+  checki "revert doubles back" 16 (Scheduler.window s);
+  Alcotest.check decision "revert recorded as grow" Trace.Grow
+    (last_decision s);
+  feed s 60.0;
+  checki "slow start re-armed: next improvement doubles" 32 (Scheduler.window s)
+
+let test_down_and_better_refines_additively () =
+  let s = Scheduler.create ~initial:64 ~step:8 Scheduler.Adaptive in
+  feed s 100.0;
+  (* window 128 *)
+  feed s 40.0;
+  feed s 40.0;
+  (* confirmed regression: 128 -> 64, dir Down *)
+  checki "cut in half" 64 (Scheduler.window s);
+  feed s 80.0;
+  (* shrinking helped: keep refining downward by one additive step *)
+  checki "gentle downward refinement" 56 (Scheduler.window s);
+  Alcotest.check decision "refinement recorded as shrink" Trace.Shrink
+    (last_decision s)
+
+let test_window_respects_bounds () =
+  let s =
+    Scheduler.create ~window_min:2 ~window_max:24 ~initial:16 Scheduler.Adaptive
+  in
+  let tp = ref 100.0 in
+  for _ = 1 to 12 do
+    tp := !tp *. 2.0;
+    feed s !tp
+  done;
+  checki "growth clamps at window_max" 24 (Scheduler.window s);
+  for _ = 1 to 30 do
+    tp := !tp /. 2.0;
+    feed s (Float.max 10.0 !tp)
+  done;
+  checkb "shrink clamps at window_min" true (Scheduler.window s >= 2);
+  checkb "every recorded window within bounds" true
+    (List.for_all
+       (fun e -> e.Trace.window >= 2 && e.Trace.window <= 24)
+       (Scheduler.trace s))
+
+let test_tie_break_is_seeded () =
+  let run seed =
+    let s = Scheduler.create ~initial:16 ~seed Scheduler.Adaptive in
+    (* after the first observe, every batch measures exactly the
+       reference: all ties, decided by the seeded coin alone *)
+    for _ = 1 to 12 do
+      feed s 100.0
+    done;
+    Trace.windows (Scheduler.trace s)
+  in
+  checkb "same seed, same window sequence" true (run 5 = run 5);
+  checkb "tie batches mix grow and hold" true
+    (let s = Scheduler.create ~initial:16 ~seed:5 Scheduler.Adaptive in
+     for _ = 1 to 24 do
+       feed s 100.0
+     done;
+     let ds = List.map (fun e -> e.Trace.decision) (Scheduler.trace s) in
+     List.mem Trace.Grow ds && List.mem Trace.Hold ds)
+
+let test_static_mode_only_records () =
+  let s = Scheduler.create ~initial:10 Scheduler.Static in
+  feed s 100.0;
+  feed s 500.0;
+  feed s 10.0;
+  checki "window never moves" 10 (Scheduler.window s);
+  checkb "all decisions are hold" true
+    (List.for_all (fun e -> e.Trace.decision = Trace.Hold) (Scheduler.trace s));
+  checkb "telemetry still recorded" true (Scheduler.telemetry s <> None)
+
+let test_replay_applies_recorded_sequence () =
+  let s = Scheduler.create ~window_max:64 (Scheduler.Replay [| 4; 9; 2 |]) in
+  checki "starts on the first recorded window" 4 (Scheduler.window s);
+  feed s 100.0;
+  checki "second batch window" 9 (Scheduler.window s);
+  feed s 1.0;
+  checki "third batch window (measurements ignored)" 2 (Scheduler.window s);
+  feed s 1000.0;
+  checki "past the end the last window is reused" 2 (Scheduler.window s);
+  checkb "all decisions are replay" true
+    (List.for_all
+       (fun e -> e.Trace.decision = Trace.Replayed)
+       (Scheduler.trace s))
+
+let test_create_validation () =
+  let expect_invalid name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  expect_invalid "window_min 0" (fun () ->
+      Scheduler.create ~window_min:0 Scheduler.Adaptive);
+  expect_invalid "inverted bounds" (fun () ->
+      Scheduler.create ~window_min:8 ~window_max:4 Scheduler.Adaptive);
+  expect_invalid "step 0" (fun () ->
+      Scheduler.create ~step:0 Scheduler.Adaptive);
+  expect_invalid "decrease 0" (fun () ->
+      Scheduler.create ~decrease:0.0 Scheduler.Adaptive);
+  expect_invalid "decrease 1" (fun () ->
+      Scheduler.create ~decrease:1.0 Scheduler.Adaptive);
+  expect_invalid "negative epsilon" (fun () ->
+      Scheduler.create ~epsilon:(-0.1) Scheduler.Adaptive);
+  expect_invalid "alpha 0" (fun () ->
+      Scheduler.create ~alpha:0.0 Scheduler.Adaptive);
+  expect_invalid "alpha 1.5" (fun () ->
+      Scheduler.create ~alpha:1.5 Scheduler.Adaptive);
+  expect_invalid "empty replay" (fun () ->
+      Scheduler.create (Scheduler.Replay [||]));
+  checki "initial clamped into bounds" 16
+    (Scheduler.window
+       (Scheduler.create ~window_min:2 ~window_max:16 ~initial:400
+          Scheduler.Adaptive))
+
+(* --- telemetry ------------------------------------------------------ *)
+
+let test_telemetry_ewma () =
+  let s = Scheduler.create ~alpha:0.3 ~initial:8 Scheduler.Static in
+  checkb "no telemetry before the first batch" true
+    (Scheduler.telemetry s = None);
+  Scheduler.observe s ~gen_ms:10.0 ~exec_ms:80.0 ~merge_ms:10.0 ~executed:10
+    ~merged:10;
+  (let tel = Option.get (Scheduler.telemetry s) in
+   checkf "first batch seeds the EWMA" 100.0 tel.Scheduler.throughput;
+   checkf "utilization = exec / wall" 0.8 tel.Scheduler.utilization;
+   checkf "queue wait = gen / 2" 5.0 tel.Scheduler.queue_wait_ms;
+   checkf "merge stall = merge" 10.0 tel.Scheduler.merge_stall_ms;
+   checkf "freshness of a 10-wide batch" (1.0 /. 5.5) tel.Scheduler.freshness);
+  Scheduler.observe s ~gen_ms:0.0 ~exec_ms:100.0 ~merge_ms:0.0 ~executed:20
+    ~merged:20;
+  let tel = Option.get (Scheduler.telemetry s) in
+  checkf "EWMA throughput 0.3*200 + 0.7*100" 130.0 tel.Scheduler.throughput;
+  checkf "EWMA utilization 0.3*1.0 + 0.7*0.8" 0.86 tel.Scheduler.utilization;
+  checkf "EWMA queue wait decays" 3.5 tel.Scheduler.queue_wait_ms
+
+let test_degenerate_timings () =
+  (* A zero-wall batch (all cache hits) must not divide by zero, and
+     negative clock skew is clamped away. *)
+  let s = Scheduler.create ~initial:4 Scheduler.Adaptive in
+  Scheduler.observe s ~gen_ms:0.0 ~exec_ms:0.0 ~merge_ms:0.0 ~executed:0
+    ~merged:4;
+  Scheduler.observe s ~gen_ms:(-5.0) ~exec_ms:(-1.0) ~merge_ms:(-2.0)
+    ~executed:0 ~merged:0;
+  let tel = Option.get (Scheduler.telemetry s) in
+  checkf "zero-wall throughput is zero" 0.0 tel.Scheduler.throughput;
+  checkb "windows stay within bounds" true
+    (Scheduler.window s >= 1 && Scheduler.window s <= 128)
+
+(* --- trace serialization -------------------------------------------- *)
+
+let make_trace () =
+  let s = Scheduler.create ~initial:8 ~seed:3 Scheduler.Adaptive in
+  feed s 100.0;
+  feed s 180.0;
+  feed s 90.0;
+  feed s 85.0;
+  feed s 120.0;
+  Scheduler.trace s
+
+let test_trace_round_trip () =
+  let t = make_trace () in
+  checki "five entries" 5 (List.length t);
+  (* %.6f serialization is lossy on the first pass, so the invariant is
+     stability: one round of parsing fixes the floats for good. *)
+  (match Trace.of_string (Trace.to_string t) with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok t' ->
+      checkb "windows survive the round trip" true
+        (Trace.windows t = Trace.windows t');
+      checkb "serialization is stable after one round" true
+        (Trace.to_string t = Trace.to_string t'));
+  checkb "windows extracts the per-batch sequence" true
+    (Trace.windows t = Array.of_list (List.map (fun e -> e.Trace.window) t))
+
+let test_trace_rejects_garbage () =
+  let reject name s =
+    match Trace.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected rejection" name
+    | Error _ -> ()
+  in
+  reject "bad header" "afex-trace 99\n1 2 3 hold 0 0 0 0 0 0 0 0 0 0\n";
+  reject "not a trace" "hello world\n";
+  reject "truncated entry" "afex-trace 1\n1 2 3 hold 0.0\n";
+  reject "unknown decision" "afex-trace 1\n0 8 8 explode 0 0 0 0 0 0 0 0 0 0\n";
+  reject "non-positive window" "afex-trace 1\n0 0 8 hold 0 0 0 0 0 0 0 0 0 0\n";
+  match Trace.of_string "afex-trace 1\n\n\n" with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "blank lines should parse as an empty trace"
+  | Error e -> Alcotest.failf "blank lines rejected: %s" e
+
+let test_trace_save_load () =
+  let t = make_trace () in
+  let path = Filename.temp_file "afex_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save path t;
+      match Trace.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok t' ->
+          checkb "save/load round-trips" true
+            (Trace.to_string t = Trace.to_string t'));
+  match Trace.load "/nonexistent/afex_trace.txt" with
+  | Ok _ -> Alcotest.fail "loading a missing file should fail"
+  | Error _ -> ()
+
+let test_trace_json_shape () =
+  let json = Trace.to_json (make_trace ()) in
+  let n = String.length json in
+  checkb "json is an array of objects" true
+    (n > 2 && json.[0] = '[' && json.[n - 1] = ']');
+  let count_substring needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i acc =
+      if i + n > h then acc
+      else if String.sub hay i n = needle then go (i + n) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  checki "one decision field per entry" 5 (count_substring "\"decision\"" json)
+
+(* --- credit plumbing ------------------------------------------------ *)
+
+let test_pipelined_credit () =
+  let exec = Afex.Executor.of_target (Apache.target ()) in
+  let lb = RM.Loopback.create ~executor:exec () in
+  let conn =
+    RM.Pipelined.create (RM.Loopback.spec lb)
+      ~total_blocks:exec.Afex.Executor.total_blocks
+  in
+  checkb "unlimited credit by default" true (RM.Pipelined.has_credit conn);
+  (match RM.Pipelined.set_credit conn 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "set_credit 0 should be rejected");
+  RM.Pipelined.set_credit conn 1;
+  checki "credit readable back" 1 (RM.Pipelined.credit conn);
+  let scenario =
+    Afex_injector.Fault.to_scenario
+      (Afex_injector.Fault.make ~test_id:0 ~func:"read" ~call_number:1 ())
+  in
+  (match RM.Pipelined.submit conn ~tag:0 scenario with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "submit: %s" (RM.string_of_error e));
+  checkb "one outstanding exhausts a credit of one" false
+    (RM.Pipelined.has_credit conn);
+  RM.Pipelined.set_credit conn 2;
+  checkb "raising the credit frees a slot" true (RM.Pipelined.has_credit conn);
+  RM.Pipelined.close conn;
+  RM.Loopback.shutdown lb
+
+let test_set_inflight_validation () =
+  let exec = Afex.Executor.of_target (Apache.target ()) in
+  let ae =
+    AE.create ~inflight:4 ~total_blocks:exec.Afex.Executor.total_blocks ()
+  in
+  checki "initial inflight" 4 (AE.inflight ae);
+  AE.set_inflight ae 9;
+  checki "retuned inflight" 9 (AE.inflight ae);
+  match AE.set_inflight ae 0 with
+  | exception Invalid_argument _ ->
+      checki "rejected retune leaves window" 9 (AE.inflight ae)
+  | () -> Alcotest.fail "set_inflight 0 should be rejected"
+
+(* --- record/replay through the pool --------------------------------- *)
+
+let history (r : Session.result) =
+  List.map
+    (fun (c : Test_case.t) ->
+      (Point.key c.Test_case.point, Outcome.status_to_string c.Test_case.status,
+       c.Test_case.fitness))
+    r.Session.executed
+
+let test_adaptive_pool_replays_bit_identically () =
+  let config = Config.fitness_guided ~seed:41 () in
+  let space = Apache.space () in
+  let executor () = Pool.Pure (Afex.Executor.of_target (Apache.target ())) in
+  let adaptive =
+    Scheduler.create ~window_min:1 ~window_max:32 ~initial:8 ~seed:41
+      Scheduler.Adaptive
+  in
+  let recorded, _ =
+    Pool.run ~scheduler:adaptive ~jobs:2 ~iterations:240 config space
+      (executor ())
+  in
+  let trace = Scheduler.trace adaptive in
+  checkb "adaptive run recorded a trace" true (List.length trace > 0);
+  let replayer =
+    Scheduler.create ~window_min:1 ~window_max:32
+      (Scheduler.Replay (Trace.windows trace))
+  in
+  let replayed, _ =
+    Pool.run ~scheduler:replayer ~jobs:1 ~iterations:240 config space
+      (executor ())
+  in
+  checkb "replayed history is bit-identical" true
+    (history recorded = history replayed);
+  checki "same batch count" (Scheduler.batches adaptive)
+    (Scheduler.batches replayer);
+  (* The windows the replay actually used are the recorded ones. *)
+  checkb "replay used the recorded windows" true
+    (Trace.windows trace = Trace.windows (Scheduler.trace replayer))
+
+let test_static_scheduler_matches_plain_batch_size () =
+  (* A Static scheduler at window w must explore exactly the same history
+     as a plain batch_size w run: the scheduler only watches. *)
+  let config = Config.fitness_guided ~seed:19 () in
+  let space = Apache.space () in
+  let executor () = Pool.Pure (Afex.Executor.of_target (Apache.target ())) in
+  let plain, _ =
+    Pool.run ~batch_size:16 ~jobs:1 ~iterations:150 config space (executor ())
+  in
+  let sched = Scheduler.create ~initial:16 Scheduler.Static in
+  let watched, _ =
+    Pool.run ~scheduler:sched ~jobs:1 ~iterations:150 config space (executor ())
+  in
+  checkb "same history" true (history plain = history watched);
+  checkb "telemetry was collected" true (Scheduler.telemetry sched <> None)
+
+let suite =
+  [
+    Alcotest.test_case "first observe doubles" `Quick
+      test_first_observe_doubles;
+    Alcotest.test_case "slow start doubles while improving" `Quick
+      test_slow_start_doubles_while_improving;
+    Alcotest.test_case "regression needs confirmation" `Quick
+      test_regression_needs_confirmation;
+    Alcotest.test_case "noisy batch costs nothing" `Quick
+      test_noisy_batch_costs_nothing;
+    Alcotest.test_case "mistaken shrink reverts multiplicatively" `Quick
+      test_mistaken_shrink_reverts_multiplicatively;
+    Alcotest.test_case "down and better refines additively" `Quick
+      test_down_and_better_refines_additively;
+    Alcotest.test_case "window respects bounds" `Quick
+      test_window_respects_bounds;
+    Alcotest.test_case "tie break is seeded" `Quick test_tie_break_is_seeded;
+    Alcotest.test_case "static mode only records" `Quick
+      test_static_mode_only_records;
+    Alcotest.test_case "replay applies recorded sequence" `Quick
+      test_replay_applies_recorded_sequence;
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "telemetry EWMA" `Quick test_telemetry_ewma;
+    Alcotest.test_case "degenerate timings" `Quick test_degenerate_timings;
+    Alcotest.test_case "trace round trip" `Quick test_trace_round_trip;
+    Alcotest.test_case "trace rejects garbage" `Quick
+      test_trace_rejects_garbage;
+    Alcotest.test_case "trace save/load" `Quick test_trace_save_load;
+    Alcotest.test_case "trace json shape" `Quick test_trace_json_shape;
+    Alcotest.test_case "pipelined credit" `Quick test_pipelined_credit;
+    Alcotest.test_case "set_inflight validation" `Quick
+      test_set_inflight_validation;
+    Alcotest.test_case "adaptive pool replays bit-identically" `Quick
+      test_adaptive_pool_replays_bit_identically;
+    Alcotest.test_case "static scheduler matches plain batch size" `Quick
+      test_static_scheduler_matches_plain_batch_size;
+  ]
