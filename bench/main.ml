@@ -1,8 +1,9 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
    evaluation (run with no argument for the full set), or individual
-   experiments by name. *)
+   experiments by name. [--smoke] shrinks the corpus-driven experiments
+   to CI-sized inputs. *)
 
-let experiments =
+let experiments ~smoke =
   [
     ("fig1", fun () -> Experiments.fig1 ());
     ("table1", fun () -> Experiments.table1 ());
@@ -18,6 +19,7 @@ let experiments =
     ("remote", fun () -> Experiments.remote ());
     ("async", fun () -> Experiments.async ());
     ("adapt", fun () -> Experiments.adapt ());
+    ("quality", fun () -> Experiments.quality ~smoke ());
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());
@@ -26,15 +28,19 @@ let experiments =
   ]
 
 let usage () =
-  print_endline "usage: main.exe [experiment...]";
+  print_endline "usage: main.exe [--smoke] [experiment...]";
   print_endline "experiments:";
-  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) experiments;
-  print_endline "(no argument runs everything)"
+  List.iter (fun (name, _) -> Printf.printf "  %s\n" name) (experiments ~smoke:false);
+  print_endline "(no argument runs everything; --smoke shrinks corpus sizes)"
 
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: [] -> List.iter (fun (_, f) -> f ()) experiments
-  | _ :: names ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let smoke = List.mem "--smoke" args in
+  let names = List.filter (fun a -> a <> "--smoke") args in
+  let experiments = experiments ~smoke in
+  match names with
+  | [] -> List.iter (fun (_, f) -> f ()) experiments
+  | names ->
       if List.mem "--help" names || List.mem "-h" names then usage ()
       else
         List.iter
@@ -46,4 +52,3 @@ let () =
                 usage ();
                 exit 1)
           names
-  | [] -> usage ()

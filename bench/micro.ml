@@ -54,6 +54,56 @@ let levenshtein_test () =
   Test.make ~name:"levenshtein stack distance"
     (Staged.stage (fun () -> ignore (Afex_quality.Levenshtein.distance_traces a b)))
 
+(* Two 40-frame traces differing in 6 frames, as interned tokens: the
+   workload of one candidate-vs-representative comparison in the
+   redundancy index. *)
+let redundancy_pair () =
+  let frame i = Printf.sprintf "lib%d.so:fn_%d (file_%d.c:%d)" (i mod 7) i (i mod 13) (i * 31) in
+  let a = List.init 40 frame in
+  let b = List.mapi (fun i f -> if i mod 7 = 0 then frame (1000 + i) else f) a in
+  let intern = Afex_quality.Trace_intern.create () in
+  let ta = Afex_quality.Trace_intern.intern intern a in
+  let tb = Afex_quality.Trace_intern.intern intern b in
+  let sort t = let s = Array.copy t in Array.sort compare s; s in
+  (ta, tb, sort ta, sort tb)
+
+let bounded_distance_test () =
+  let ta, tb, _, _ = redundancy_pair () in
+  Test.make ~name:"distance_at_most k=13 (40 frames)"
+    (Staged.stage (fun () ->
+         ignore (Afex_quality.Levenshtein.distance_at_most ~k:13 ta tb)))
+
+let bag_filter_test () =
+  let _, _, sa, sb = redundancy_pair () in
+  Test.make ~name:"bag/length filter (40 frames)"
+    (Staged.stage (fun () -> ignore (Afex_quality.Levenshtein.bag_lower_bound sa sb)))
+
+(* A populated index absorbing a repeat of a known trace — the by-far
+   dominant case in a long campaign (one hash probe on interned ids). *)
+let index_observe_test () =
+  let frame s i = Printf.sprintf "site%d:fn_%d" s i in
+  let traces =
+    List.init 200 (fun s -> List.init (4 + (s mod 28)) (frame s))
+  in
+  let intern = Afex_quality.Trace_intern.create () in
+  let index = Afex_quality.Index.create ~intern () in
+  List.iter (Afex_quality.Index.observe index) traces;
+  let repeat = List.nth traces 100 in
+  Test.make ~name:"index observe (repeat, 200 distinct)"
+    (Staged.stage (fun () -> Afex_quality.Index.observe index repeat))
+
+let feedback_weight_test () =
+  let frame s i = Printf.sprintf "site%d:fn_%d" s i in
+  let traces =
+    List.init 200 (fun s -> List.init (4 + (s mod 28)) (frame s))
+  in
+  let intern = Afex_quality.Trace_intern.create () in
+  let fb = Afex_quality.Feedback.create ~intern () in
+  List.iter (Afex_quality.Feedback.register fb) traces;
+  let probe = List.mapi (fun i f -> if i = 0 then "other:fn" else f) (List.nth traces 100) in
+  Test.make ~name:"feedback weight query (200 distinct)"
+    (Staged.stage (fun () -> ignore (Afex_quality.Feedback.weight fb probe)))
+
 let parse_test () =
   let description =
     "function : { malloc, calloc, realloc } errno : { ENOMEM } retval : { 0 } \
@@ -66,7 +116,16 @@ let parse_test () =
 
 let tests () =
   Test.make_grouped ~name:"afex" ~fmt:"%s %s"
-    [ explorer_generation_test (); engine_run_test (); levenshtein_test (); parse_test () ]
+    [
+      explorer_generation_test ();
+      engine_run_test ();
+      levenshtein_test ();
+      bounded_distance_test ();
+      bag_filter_test ();
+      index_observe_test ();
+      feedback_weight_test ();
+      parse_test ();
+    ]
 
 let benchmark () =
   let ols =

@@ -7,6 +7,8 @@ module Outcome = Afex_injector.Outcome
 module Sensor = Afex_injector.Sensor
 module Relevance = Afex_quality.Relevance
 module Feedback = Afex_quality.Feedback
+module Trace_intern = Afex_quality.Trace_intern
+module Index = Afex_quality.Index
 
 (* Progress metrics go to a log so a long exploration can be followed
    live (§6.4, step 7). *)
@@ -25,6 +27,9 @@ type t = {
   sensitivity : Sensitivity.t;
   pending : (string, unit) Hashtbl.t;
   feedback : Feedback.t;
+  failure_index : Index.t;
+      (** injection stacks of triggered failing tests, clustered online *)
+  crash_index : Index.t;  (** crash stacks, clustered online *)
   covered : Bitset.t;
   mutable seeds : Point.t list;  (** analysis-provided seeds, consumed first *)
   mutable cursor : Point.t Seq.t;  (** exhaustive strategy only *)
@@ -39,6 +44,7 @@ type t = {
 }
 
 let create ?(transform = fun p -> p) config sub executor =
+  let intern = Trace_intern.create () in
   {
     config;
     sub;
@@ -51,7 +57,11 @@ let create ?(transform = fun p -> p) config sub executor =
       Sensitivity.create ~window:config.Config.sensitivity_window
         ~dims:(Subspace.dim sub) ();
     pending = Hashtbl.create 64;
-    feedback = Feedback.create ();
+    (* One intern table for the whole session: redundancy feedback and
+       both cluster indexes tokenize each stack frame exactly once. *)
+    feedback = Feedback.create ~intern ();
+    failure_index = Index.create ~intern ();
+    crash_index = Index.create ~intern ();
     covered = Bitset.create executor.Executor.total_blocks;
     seeds = config.Config.initial_seeds;
     cursor = Subspace.enumerate sub;
@@ -173,6 +183,15 @@ let report t (proposal : Mutator.proposal) outcome =
   | Outcome.Hung -> t.hung <- t.hung + 1
   | Outcome.Passed | Outcome.Test_failed -> ());
   if outcome.Outcome.triggered then t.triggered <- t.triggered + 1;
+  (* Online redundancy analysis: the indexes absorb each trace as it
+     arrives, so {!Session.summarize} reads finished clusters instead of
+     re-running the quadratic batch pass over the whole history. *)
+  (match outcome.Outcome.crash_stack with
+  | Some stack -> Index.observe t.crash_index stack
+  | None -> ());
+  if Test_case.failed case && case.Test_case.triggered then
+    Index.observe t.failure_index
+      (Option.value case.Test_case.injection_stack ~default:[]);
   t.simulated_ms <-
     t.simulated_ms +. outcome.Outcome.duration_ms +. t.config.Config.setup_ms;
   t.records <- case :: t.records;
@@ -212,6 +231,8 @@ let triggered_count t = t.triggered
 let covered_blocks t = Bitset.count t.covered
 let simulated_ms t = t.simulated_ms
 let sensitivity_probabilities t = Sensitivity.probabilities t.sensitivity
+let failure_index t = t.failure_index
+let crash_index t = t.crash_index
 let queue_snapshot t = Pqueue.elements t.queue
 let history_size t = History.size t.history
 let subspace t = t.sub

@@ -60,6 +60,16 @@ val covered_blocks : t -> int
 val simulated_ms : t -> float
 (** Simulated wall-clock: test durations plus per-test setup. *)
 
+val failure_index : t -> Afex_quality.Index.t
+(** Online redundancy clusters over the injection stacks of triggered
+    failing tests, maintained incrementally by {!report} — {!Session}
+    reads counts and clusters from here instead of re-clustering the
+    whole history at summary time. *)
+
+val crash_index : t -> Afex_quality.Index.t
+(** Same, over crash stacks. Observation order is chronological, so the
+    items align with the crashing records in {!records} order. *)
+
 val sensitivity_probabilities : t -> float array
 val queue_snapshot : t -> Test_case.t list
 val history_size : t -> int

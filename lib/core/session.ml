@@ -17,6 +17,7 @@ type result = {
   distinct_crash_traces : int;
   failure_clusters : int;
   crash_clusters : int;
+  crash_cluster_detail : Test_case.t Clustering.cluster list;
   simulated_ms : float;
   sensitivity : float array;
   failure_curve : int array;
@@ -24,15 +25,28 @@ type result = {
   stop_iteration : int option;
 }
 
-let trace_of case = Option.value case.Test_case.injection_stack ~default:[]
-
 let summarize explorer ~total_blocks ~stopped_early ~stop_iteration =
   let executed = Explorer.records explorer in
-  let failing = List.filter Test_case.failed executed in
-  let crashing = List.filter Test_case.crashed executed in
-  let failure_traces = List.map trace_of (List.filter (fun c -> c.Test_case.triggered) failing) in
-  let crash_traces =
-    List.filter_map (fun c -> c.Test_case.crash_stack) crashing
+  (* The explorer's online indexes already hold the redundancy analysis:
+     distinct-trace and cluster counts are O(1) reads, and the crash
+     clusters are materialized once here and reused by
+     {!crash_cluster_representatives} — the seed implementation re-ran the
+     full quadratic clustering for the counts and again for the
+     representatives. *)
+  let failure_index = Explorer.failure_index explorer in
+  let crash_index = Explorer.crash_index explorer in
+  (* Items of [crash_index] were observed chronologically, so they align
+     with the crash-stack-carrying records in [executed] order. *)
+  let crash_cases =
+    Array.of_list
+      (List.filter (fun c -> c.Test_case.crash_stack <> None) executed)
+  in
+  let crash_cluster_detail =
+    List.map
+      (fun members ->
+        let members = List.map (fun i -> crash_cases.(i)) members in
+        { Clustering.representative = List.hd members; members })
+      (Afex_quality.Index.clusters crash_index)
   in
   let curve = Array.make (List.length executed) 0 in
   let _ =
@@ -57,10 +71,11 @@ let summarize explorer ~total_blocks ~stopped_early ~stop_iteration =
     coverage_percent =
       (if total_blocks = 0 then 0.0
        else 100.0 *. float_of_int covered /. float_of_int total_blocks);
-    distinct_failure_traces = Clustering.distinct_traces failure_traces;
-    distinct_crash_traces = Clustering.distinct_traces crash_traces;
-    failure_clusters = Clustering.cluster_count ~trace:(fun tr -> tr) failure_traces;
-    crash_clusters = Clustering.cluster_count ~trace:(fun tr -> tr) crash_traces;
+    distinct_failure_traces = Afex_quality.Index.distinct failure_index;
+    distinct_crash_traces = Afex_quality.Index.distinct crash_index;
+    failure_clusters = Afex_quality.Index.cluster_count failure_index;
+    crash_clusters = Afex_quality.Index.cluster_count crash_index;
+    crash_cluster_detail;
     simulated_ms = Explorer.simulated_ms explorer;
     sensitivity = Explorer.sensitivity_probabilities explorer;
     failure_curve = curve;
@@ -111,15 +126,9 @@ let top_faults result ~n =
   List.filteri (fun i _ -> i < n) sorted
 
 let crash_cluster_representatives result =
-  let crashing =
-    List.filter (fun c -> c.Test_case.crash_stack <> None) result.executed
-  in
-  let clusters =
-    Clustering.cluster
-      ~trace:(fun c -> Option.value c.Test_case.crash_stack ~default:[])
-      crashing
-  in
-  List.map (fun c -> c.Clustering.representative) clusters
+  List.map
+    (fun c -> c.Clustering.representative)
+    result.crash_cluster_detail
 
 let found_matching result matches =
   List.length (List.filter matches result.executed)

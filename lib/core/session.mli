@@ -26,6 +26,10 @@ type result = {
   distinct_crash_traces : int;
   failure_clusters : int;  (** Levenshtein redundancy clusters (§5) *)
   crash_clusters : int;
+  crash_cluster_detail : Test_case.t Afex_quality.Clustering.cluster list;
+      (** the crash redundancy clusters themselves (largest first, one
+          test case per member), built once from the explorer's online
+          index and reused by {!crash_cluster_representatives} *)
   simulated_ms : float;
   sensitivity : float array;  (** final axis probabilities *)
   failure_curve : int array;

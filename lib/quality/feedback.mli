@@ -8,7 +8,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?intern:Trace_intern.t -> unit -> t
+(** [intern] shares a frame-interning table with the rest of the session
+    (the explorer passes the one its cluster indexes use); a private
+    table is created otherwise. *)
 
 val seen : t -> int
 (** Number of distinct traces registered. *)

@@ -31,3 +31,118 @@ let similarity a b =
 
 let distance_traces a b = distance (Array.of_list a) (Array.of_list b)
 let similarity_traces a b = similarity (Array.of_list a) (Array.of_list b)
+
+(* ------------------------------------------------------------------ *)
+(* Interned-token kernels                                              *)
+(* ------------------------------------------------------------------ *)
+
+let distance_ints a b =
+  generic_distance ~len_a:(Array.length a) ~len_b:(Array.length b)
+    ~equal:(fun i j -> a.(i) = b.(j))
+
+(* Multiset lower bound: every token of [a] unmatched in [b] costs a
+   deletion or a substitution (and symmetrically), and one substitution
+   cancels an unmatched token on each side, so
+   d >= max(#unmatched in a, #unmatched in b). Both arrays must be sorted;
+   the bound then falls out of one merge pass. It subsumes the length
+   bound, since pos - neg = len a - len b. *)
+let bag_lower_bound a b =
+  let la = Array.length a and lb = Array.length b in
+  let i = ref 0 and j = ref 0 in
+  let only_a = ref 0 and only_b = ref 0 in
+  while !i < la && !j < lb do
+    let x = a.(!i) and y = b.(!j) in
+    if x = y then begin
+      incr i;
+      incr j
+    end
+    else if x < y then begin
+      incr only_a;
+      incr i
+    end
+    else begin
+      incr only_b;
+      incr j
+    end
+  done;
+  only_a := !only_a + (la - !i);
+  only_b := !only_b + (lb - !j);
+  max !only_a !only_b
+
+(* Myers' bit-parallel edit distance (Hyyrö's formulation): the DP column
+   is two bitvectors of pattern length, each text token costs O(1) word
+   ops. Native ints give 63 usable bits; we cap the pattern at 62 so
+   [1 lsl m] never touches the sign bit. *)
+let myers_max_len = 62
+
+let myers pattern text =
+  let m = Array.length pattern in
+  let peq = Hashtbl.create (2 * m) in
+  for i = 0 to m - 1 do
+    let bits = Option.value (Hashtbl.find_opt peq pattern.(i)) ~default:0 in
+    Hashtbl.replace peq pattern.(i) (bits lor (1 lsl i))
+  done;
+  let mask = (1 lsl m) - 1 in
+  let high = 1 lsl (m - 1) in
+  let vp = ref mask and vn = ref 0 in
+  let score = ref m in
+  for j = 0 to Array.length text - 1 do
+    let eq = Option.value (Hashtbl.find_opt peq text.(j)) ~default:0 in
+    let x = eq lor !vn in
+    let d0 = ((((x land !vp) + !vp) lxor !vp) lor x) land mask in
+    let hp = !vn lor lnot (d0 lor !vp) in
+    let hn = !vp land d0 in
+    if hp land high <> 0 then incr score;
+    if hn land high <> 0 then decr score;
+    let hp = ((hp lsl 1) lor 1) land mask in
+    let hn = (hn lsl 1) land mask in
+    vp := hn lor (lnot (d0 lor hp) land mask);
+    vn := hp land d0
+  done;
+  !score
+
+(* Banded two-row DP (Ukkonen): only cells with |i - j| <= k can hold a
+   value <= k, so each row costs O(k) and the whole check O(k * min len).
+   Early exit as soon as a full row exceeds the budget. *)
+let banded ~k a b =
+  let la = Array.length a and lb = Array.length b in
+  let inf = max_int / 2 in
+  let prev = Array.make (lb + 1) inf and cur = Array.make (lb + 1) inf in
+  for j = 0 to min lb k do
+    prev.(j) <- j
+  done;
+  let exceeded = ref false in
+  let i = ref 1 in
+  while (not !exceeded) && !i <= la do
+    let lo = max 1 (!i - k) and hi = min lb (!i + k) in
+    let row_min = ref inf in
+    if !i <= k then begin
+      cur.(0) <- !i;
+      row_min := !i
+    end
+    else cur.(lo - 1) <- inf;
+    for j = lo to hi do
+      let cost = if a.(!i - 1) = b.(j - 1) then 0 else 1 in
+      let v = min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost) in
+      cur.(j) <- v;
+      if v < !row_min then row_min := v
+    done;
+    if hi < lb then cur.(hi + 1) <- inf;
+    if !row_min > k then exceeded := true
+    else begin
+      Array.blit cur 0 prev 0 (lb + 1);
+      incr i
+    end
+  done;
+  if !exceeded || prev.(lb) > k then None else Some prev.(lb)
+
+let distance_at_most ~k a b =
+  if k < 0 then invalid_arg "Levenshtein.distance_at_most: negative k";
+  let la = Array.length a and lb = Array.length b in
+  if abs (la - lb) > k then None
+  else if la = 0 || lb = 0 then Some (max la lb)  (* <= k via the length gate *)
+  else if min la lb <= myers_max_len then begin
+    let d = if la <= lb then myers a b else myers b a in
+    if d <= k then Some d else None
+  end
+  else banded ~k a b

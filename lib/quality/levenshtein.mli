@@ -13,3 +13,26 @@ val similarity : string array -> string array -> float
 
 val distance_traces : string list -> string list -> int
 val similarity_traces : string list -> string list -> float
+
+(** {2 Interned-token kernels}
+
+    The hot redundancy paths ({!Feedback}, {!Index}) compare traces that
+    have been tokenized by {!Trace_intern}, so the kernels below work over
+    [int array]s and a pair comparison never touches frame text. *)
+
+val distance_ints : int array -> int array -> int
+(** Reference two-row DP over token ids; the bounded kernels are
+    property-tested against it. *)
+
+val bag_lower_bound : int array -> int array -> int
+(** Lower bound on {!distance_ints} from the token multiset difference.
+    Both arrays must be {e sorted}; the bound is one merge pass, costs
+    O(len), and subsumes the [abs (len a - len b)] length bound. *)
+
+val distance_at_most : k:int -> int array -> int array -> int option
+(** [Some d] with [d = distance_ints a b] when the distance is at most
+    [k], [None] otherwise — without paying for the full DP in the [None]
+    case. Dispatch: a length gate first; Myers' bit-parallel scan (O(max
+    len) word ops) when the shorter side fits a native int (62 tokens); a
+    banded Ukkonen DP with early exit (O(k * min len)) beyond that.
+    Raises [Invalid_argument] when [k < 0]. *)

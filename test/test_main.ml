@@ -7,6 +7,7 @@ let () =
       ("simtarget", Test_simtarget.suite);
       ("injector", Test_injector.suite);
       ("quality", Test_quality.suite);
+      ("prop_quality", Test_prop_quality.suite);
       ("core", Test_core.suite);
       ("prop_core", Test_prop_core.suite);
       ("cluster", Test_cluster.suite);

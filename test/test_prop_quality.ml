@@ -1,0 +1,263 @@
+(* Property-test sweep over the fast redundancy engine, on the Prop
+   harness: the bounded edit-distance kernels (Myers bit-parallel and the
+   banded DP) agree with the reference two-row DP under and over the
+   budget, the bag filter is a genuine lower bound, the incremental
+   cluster index reproduces the batch union-find partition on random
+   corpora, and the rewritten feedback store weighs fitness bit-for-bit
+   like the seed implementation. *)
+
+module Lev = Afex_quality.Levenshtein
+module Clustering = Afex_quality.Clustering
+module Trace_intern = Afex_quality.Trace_intern
+module Index = Afex_quality.Index
+module Feedback = Afex_quality.Feedback
+
+let checkb = Alcotest.(check bool)
+
+let show_tokens l = "[" ^ String.concat ";" (List.map string_of_int l) ^ "]"
+
+(* Token lists over a small alphabet: collisions are frequent enough that
+   distances actually vary. [long] pushes past the 62-token Myers window
+   so the banded kernel is exercised too. *)
+let arb_tokens ?(max_length = 12) () =
+  Prop.list ~max_length (Prop.int_range 0 5)
+
+let arb_long_tokens =
+  let base = arb_tokens ~max_length:20 () in
+  Prop.make
+    ~shrink:(fun l -> if List.length l > 64 then [] else base.Prop.shrink l)
+    ~show:show_tokens
+    (fun rng ->
+      (* length 60..90 straddles the Myers/banded boundary *)
+      let n = 60 + Afex_stats.Rng.int rng 31 in
+      List.init n (fun _ -> Afex_stats.Rng.int rng 6))
+
+(* --- distance_at_most agrees with the reference DP ------------------- *)
+
+let bounded_agrees (a, b, k) =
+  let a = Array.of_list a and b = Array.of_list b in
+  let d = Lev.distance_ints a b in
+  match Lev.distance_at_most ~k a b with
+  | Some d' -> d' = d && d <= k
+  | None -> d > k
+
+let test_bounded_distance_agrees () =
+  let arb =
+    Prop.(
+      map
+        ~show:(fun (a, b, k) ->
+          Printf.sprintf "a=%s b=%s k=%d" (show_tokens a) (show_tokens b) k)
+        (fun ((a, b), k) -> (a, b, k))
+        (pair (pair (arb_tokens ()) (arb_tokens ())) (int_range 0 14)))
+  in
+  Prop.check ~count:500 "distance_at_most agrees with reference DP" arb
+    bounded_agrees
+
+let test_bounded_distance_agrees_long () =
+  let arb =
+    Prop.(
+      map
+        ~show:(fun (a, b, k) ->
+          Printf.sprintf "a=%s b=%s k=%d" (show_tokens a) (show_tokens b) k)
+        (fun ((a, b), k) -> (a, b, k))
+        (pair (pair arb_long_tokens arb_long_tokens) (int_range 0 40)))
+  in
+  Prop.check ~count:120 "banded distance_at_most agrees on long traces" arb
+    bounded_agrees
+
+(* --- the bag filter is a lower bound --------------------------------- *)
+
+let test_bag_lower_bound () =
+  let arb = Prop.pair (arb_tokens ()) (arb_tokens ()) in
+  Prop.check ~count:500 "bag filter bounds the distance from below" arb
+    (fun (a, b) ->
+      let a = Array.of_list a and b = Array.of_list b in
+      let sa = Array.copy a and sb = Array.copy b in
+      Array.sort compare sa;
+      Array.sort compare sb;
+      let lb = Lev.bag_lower_bound sa sb in
+      lb <= Lev.distance_ints a b && lb >= abs (Array.length a - Array.length b))
+
+(* --- incremental index = batch union-find clustering ----------------- *)
+
+let frame_alphabet = [ "a"; "b"; "c"; "d" ]
+
+let arb_corpus =
+  Prop.list ~max_length:18
+    (Prop.list ~max_length:6 (Prop.choose frame_alphabet))
+
+let show_corpus corpus =
+  "["
+  ^ String.concat "; "
+      (List.map (fun tr -> "[" ^ String.concat "," tr ^ "]") corpus)
+  ^ "]"
+
+(* Canonical view of a partition over items 0..n-1: for each item, the
+   first item of its cluster. Identifies the partition regardless of the
+   order clusters are listed in. *)
+let batch_assignment ~threshold corpus =
+  let items = List.mapi (fun i tr -> (i, tr)) corpus in
+  let clusters = Clustering.cluster ~threshold ~trace:snd items in
+  let assign = Array.make (List.length corpus) (-1) in
+  List.iter
+    (fun c ->
+      let rep = fst c.Clustering.representative in
+      List.iter (fun (i, _) -> assign.(i) <- rep) c.Clustering.members)
+    clusters;
+  assign
+
+let index_assignment ~threshold corpus =
+  let intern = Trace_intern.create () in
+  let index = Index.create ~threshold ~intern () in
+  List.iter (Index.observe index) corpus;
+  let assign = Array.make (List.length corpus) (-1) in
+  List.iter
+    (fun members ->
+      let rep = List.hd members in
+      List.iter (fun i -> assign.(i) <- rep) members)
+    (Index.clusters index);
+  assign
+
+let test_index_matches_batch () =
+  List.iter
+    (fun threshold ->
+      let arb =
+        Prop.make ~shrink:arb_corpus.Prop.shrink ~show:show_corpus
+          arb_corpus.Prop.gen
+      in
+      Prop.check ~count:200
+        (Printf.sprintf "index = batch clustering at threshold %.2f" threshold)
+        arb
+        (fun corpus ->
+          batch_assignment ~threshold corpus
+          = index_assignment ~threshold corpus))
+    [ 0.1; 0.34; 0.6 ]
+
+let test_index_counts () =
+  Prop.check ~count:200 "index counts match the batch metrics" arb_corpus
+    (fun corpus ->
+      let intern = Trace_intern.create () in
+      let index = Index.create ~intern () in
+      List.iter (Index.observe index) corpus;
+      Index.length index = List.length corpus
+      && Index.distinct index = Clustering.distinct_traces corpus
+      && Index.cluster_count index
+         = Clustering.cluster_count ~trace:(fun t -> t) corpus
+      && Index.cluster_count index = List.length (Index.clusters index))
+
+(* --- feedback weights are unchanged vs the seed implementation ------- *)
+
+(* The seed Feedback, verbatim modulo renaming: a string-keyed exact
+   table plus a linear fold of full-DP similarities. *)
+module Seed_feedback = struct
+  type t = {
+    exact : (string, unit) Hashtbl.t;
+    mutable traces : string array list;
+  }
+
+  let create () = { exact = Hashtbl.create 64; traces = [] }
+  let key trace = String.concat "\x00" trace
+
+  let weight t trace =
+    if Hashtbl.mem t.exact (key trace) then 0.0
+    else begin
+      let candidate = Array.of_list trace in
+      let best =
+        List.fold_left
+          (fun acc known -> Float.max acc (Lev.similarity candidate known))
+          0.0 t.traces
+      in
+      1.0 -. best
+    end
+
+  let register t trace =
+    let k = key trace in
+    if not (Hashtbl.mem t.exact k) then begin
+      Hashtbl.add t.exact k ();
+      t.traces <- Array.of_list trace :: t.traces
+    end
+
+  let weigh_fitness t ~trace fitness =
+    match trace with
+    | None -> fitness
+    | Some trace ->
+        let w = weight t trace in
+        register t trace;
+        fitness *. w
+end
+
+let test_feedback_matches_seed () =
+  let arb_outcomes =
+    Prop.list ~max_length:25
+      (Prop.pair
+         (Prop.list ~max_length:8 (Prop.choose frame_alphabet))
+         (Prop.float_range 0.0 10.0))
+  in
+  Prop.check ~count:200 "feedback weights bit-identical to seed" arb_outcomes
+    (fun outcomes ->
+      let fast = Feedback.create () and seed = Seed_feedback.create () in
+      List.for_all
+        (fun (trace, fitness) ->
+          let wf = Feedback.weigh_fitness fast ~trace:(Some trace) fitness in
+          let ws = Seed_feedback.weigh_fitness seed ~trace:(Some trace) fitness in
+          Int64.equal (Int64.bits_of_float wf) (Int64.bits_of_float ws))
+        outcomes)
+
+let test_feedback_weight_matches_seed () =
+  (* [weight] alone (no registration), probed against a random store. *)
+  let arb =
+    Prop.pair
+      (Prop.list ~max_length:12 (Prop.list ~max_length:8 (Prop.choose frame_alphabet)))
+      (Prop.list ~max_length:8 (Prop.choose frame_alphabet))
+  in
+  Prop.check ~count:300 "weight query bit-identical to seed" arb
+    (fun (store, probe) ->
+      let fast = Feedback.create () and seed = Seed_feedback.create () in
+      List.iter
+        (fun tr ->
+          Feedback.register fast tr;
+          Seed_feedback.register seed tr)
+        store;
+      Int64.equal
+        (Int64.bits_of_float (Feedback.weight fast probe))
+        (Int64.bits_of_float (Seed_feedback.weight seed probe)))
+
+let test_intern_round_trip () =
+  Prop.check ~count:300 "interning round-trips traces"
+    (Prop.list ~max_length:10 (Prop.choose frame_alphabet))
+    (fun trace ->
+      let intern = Trace_intern.create () in
+      let tokens = Trace_intern.intern intern trace in
+      Trace_intern.extern intern tokens = trace)
+
+let test_myers_boundary () =
+  (* Pin the exact Myers word-size boundary: 62-token traces still take
+     the bit-parallel path, 63 falls back to the band. *)
+  let mk n offset = Array.init n (fun i -> i + offset) in
+  List.iter
+    (fun n ->
+      let a = mk n 0 and b = mk n 1 in
+      let d = Lev.distance_ints a b in
+      checkb
+        (Printf.sprintf "length %d agrees" n)
+        true
+        (Lev.distance_at_most ~k:n a b = Some d))
+    [ 61; 62; 63; 64 ]
+
+let suite =
+  [
+    Alcotest.test_case "bounded distance agrees" `Quick
+      test_bounded_distance_agrees;
+    Alcotest.test_case "bounded distance agrees (long)" `Slow
+      test_bounded_distance_agrees_long;
+    Alcotest.test_case "bag lower bound" `Quick test_bag_lower_bound;
+    Alcotest.test_case "index matches batch clustering" `Quick
+      test_index_matches_batch;
+    Alcotest.test_case "index counts" `Quick test_index_counts;
+    Alcotest.test_case "feedback matches seed" `Quick
+      test_feedback_matches_seed;
+    Alcotest.test_case "weight query matches seed" `Quick
+      test_feedback_weight_matches_seed;
+    Alcotest.test_case "intern round trip" `Quick test_intern_round_trip;
+    Alcotest.test_case "myers boundary" `Quick test_myers_boundary;
+  ]

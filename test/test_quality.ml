@@ -93,6 +93,72 @@ let test_distinct_traces () =
     (Clustering.distinct_traces [ [ "a" ]; [ "a" ]; [ "b" ] ]);
   checki "empty" 0 (Clustering.distinct_traces [])
 
+(* --- Interning, bounded distance, incremental index --- *)
+
+module Trace_intern = Afex_quality.Trace_intern
+module Index = Afex_quality.Index
+
+let test_intern_ids_stable () =
+  let intern = Trace_intern.create () in
+  checki "first frame" 0 (Trace_intern.intern_frame intern "main");
+  checki "second frame" 1 (Trace_intern.intern_frame intern "read");
+  checki "repeat keeps id" 0 (Trace_intern.intern_frame intern "main");
+  checki "distinct frames" 2 (Trace_intern.size intern);
+  Alcotest.(check (list string))
+    "round trip" [ "read"; "main" ]
+    (Trace_intern.extern intern (Trace_intern.intern intern [ "read"; "main" ]))
+
+let test_bounded_distance_cases () =
+  let a = [| 1; 2; 3; 4 |] and b = [| 1; 2; 3; 9 |] in
+  Alcotest.(check (option int)) "within budget" (Some 1) (Lev.distance_at_most ~k:1 a b);
+  Alcotest.(check (option int)) "over budget" None (Lev.distance_at_most ~k:0 a b);
+  Alcotest.(check (option int)) "identical at k=0" (Some 0) (Lev.distance_at_most ~k:0 a a);
+  Alcotest.(check (option int)) "length gate" None (Lev.distance_at_most ~k:2 a [| 1 |]);
+  Alcotest.(check (option int)) "empty vs empty" (Some 0) (Lev.distance_at_most ~k:0 [||] [||]);
+  Alcotest.(check (option int)) "empty vs short" (Some 2) (Lev.distance_at_most ~k:2 [||] [| 5; 6 |]);
+  checkb "negative k rejected" true
+    (try ignore (Lev.distance_at_most ~k:(-1) a b); false
+     with Invalid_argument _ -> true)
+
+let test_bag_bound_cases () =
+  let sorted l = let a = Array.of_list l in Array.sort compare a; a in
+  checki "identical bags" 0 (Lev.bag_lower_bound (sorted [ 1; 2; 3 ]) (sorted [ 3; 2; 1 ]));
+  checki "disjoint bags" 3 (Lev.bag_lower_bound (sorted [ 1; 2; 3 ]) (sorted [ 4; 5; 6 ]));
+  checki "length difference" 2 (Lev.bag_lower_bound (sorted [ 1 ]) (sorted [ 1; 2; 3 ]));
+  checki "one side empty" 4 (Lev.bag_lower_bound (sorted []) (sorted [ 7; 7; 8; 9 ]))
+
+let observe_all index traces = List.iter (Index.observe index) traces
+
+let test_index_online_counts () =
+  let index = Index.create ~intern:(Trace_intern.create ()) () in
+  checki "empty length" 0 (Index.length index);
+  checki "empty clusters" 0 (Index.cluster_count index);
+  observe_all index [ [ "a"; "b"; "c" ]; [ "a"; "b"; "c" ]; [ "x"; "y"; "z" ] ];
+  checki "three observed" 3 (Index.length index);
+  checki "two distinct" 2 (Index.distinct index);
+  checki "two clusters" 2 (Index.cluster_count index);
+  (* near trace (1 of 4 differing <= 0.34) merges online *)
+  observe_all index [ [ "a"; "b"; "c"; "d" ] ];
+  checki "near trace joins" 2 (Index.cluster_count index)
+
+let test_index_cluster_shape () =
+  let index = Index.create ~intern:(Trace_intern.create ()) () in
+  observe_all index [ [ "solo" ]; [ "dup" ]; [ "dup" ]; [ "dup" ] ];
+  (match Index.clusters index with
+  | [ big; small ] ->
+      Alcotest.(check (list int)) "largest first, insertion order" [ 1; 2; 3 ] big;
+      Alcotest.(check (list int)) "singleton second" [ 0 ] small
+  | _ -> Alcotest.fail "expected two clusters");
+  Alcotest.(check (list int)) "representatives" [ 1; 0 ] (Index.representatives index)
+
+let test_index_transitive_chain () =
+  (* A~B and B~C but A!~C: single linkage links all three, even though C
+     arrives after the A/B cluster is formed. *)
+  let index = Index.create ~threshold:0.26 ~intern:(Trace_intern.create ()) () in
+  observe_all index
+    [ [ "1"; "2"; "3"; "4" ]; [ "1"; "2"; "3"; "x" ]; [ "1"; "2"; "y"; "x" ] ];
+  checki "chained into one" 1 (Index.cluster_count index)
+
 (* --- Precision --- *)
 
 let test_precision_deterministic () =
@@ -218,6 +284,12 @@ let suite =
       ("cluster empty", test_cluster_empty);
       ("cluster sorted by size", test_cluster_sorted_by_size);
       ("distinct traces", test_distinct_traces);
+      ("intern ids stable", test_intern_ids_stable);
+      ("bounded distance cases", test_bounded_distance_cases);
+      ("bag bound cases", test_bag_bound_cases);
+      ("index online counts", test_index_online_counts);
+      ("index cluster shape", test_index_cluster_shape);
+      ("index transitive chain", test_index_transitive_chain);
       ("precision deterministic", test_precision_deterministic);
       ("precision noisy", test_precision_noisy);
       ("precision requires trials", test_precision_requires_trials);
