@@ -31,6 +31,24 @@ module Async_executor = Afex_cluster.Async_executor
 module Remote_manager = Afex_cluster.Remote_manager
 module Scheduler = Afex_cluster.Scheduler
 
+(* Provenance header shared by every BENCH_*.json artifact: schema
+   version, the exact command line, and the commit the numbers were
+   measured at, so a stray artifact always traces back to its run. *)
+let bench_header () =
+  let commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
+  let quote s = "\"" ^ Afex_report.Export.json_escape s ^ "\"" in
+  Printf.sprintf "\"schema\": 1, \"cmd\": %s, \"commit\": %s"
+    (quote (String.concat " " (Array.to_list Sys.argv)))
+    (quote commit)
+
 let section title =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
@@ -1225,7 +1243,8 @@ let adapt ?(iterations = 5000) ?(windows = [ 1; 4; 8; 32; 128 ]) () =
       models
   in
   let json =
-    Printf.sprintf "{\"iterations\": %d, \"models\": [%s]}\n" iterations
+    Printf.sprintf "{%s, \"iterations\": %d, \"models\": [%s]}\n"
+      (bench_header ()) iterations
       (String.concat ", " model_jsons)
   in
   let oc = open_out "BENCH_adapt.json" in
@@ -1431,7 +1450,8 @@ let quality ?(smoke = false) () =
       sizes
   in
   let json =
-    Printf.sprintf "{\"smoke\": %b, \"corpora\": [%s]}\n" smoke
+    Printf.sprintf "{%s, \"smoke\": %b, \"corpora\": [%s]}\n"
+      (bench_header ()) smoke
       (String.concat ", " corpus_jsons)
   in
   let oc = open_out "BENCH_quality.json" in

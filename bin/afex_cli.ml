@@ -257,9 +257,36 @@ let explore_cmd =
     in
     Arg.(value & opt (some string) None & info [ "replay-trace" ] ~docv:"FILE" ~doc)
   in
+  let checkpoint_arg =
+    let doc =
+      "Make the campaign crash-safe: snapshot the full explorer state into \
+       $(docv) at a cadence of $(b,--checkpoint-every) reported outcomes and \
+       journal every outcome in between, so a killed process continues with \
+       $(b,--resume) and produces byte-identical exports."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"DIR" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc =
+      "Snapshot cadence for $(b,--checkpoint), in reported outcomes. Smaller \
+       values bound the journal replay a resume pays for; larger values \
+       amortize the snapshot write over more tests."
+    in
+    Arg.(value & opt int 500 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Continue the campaign checkpointed in $(docv): restore the last \
+       snapshot, replay the journal tail, and keep exploring (and \
+       checkpointing) from there. Every flag that shapes the search must \
+       match the original invocation."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
+  in
   let run target strategy iterations seed feedback top replay_out multi seed_analysis
       csv_out json_out assess jobs batch managers inflight latency adaptive
-      window_min window_max trace_out replay_trace verbosity =
+      window_min window_max trace_out replay_trace checkpoint_dir checkpoint_every
+      resume_dir verbosity =
     setup_logging verbosity;
     let specs =
       List.map
@@ -296,6 +323,16 @@ let explore_cmd =
       prerr_endline
         "afex: --adaptive and --replay-trace are exclusive (a replay \
          re-applies recorded decisions)";
+      exit 2
+    end;
+    if checkpoint_dir <> None && resume_dir <> None then begin
+      prerr_endline
+        "afex: --checkpoint and --resume are exclusive (a resume keeps \
+         checkpointing into its own directory)";
+      exit 2
+    end;
+    if checkpoint_every < 1 then begin
+      prerr_endline "afex: --checkpoint-every must be at least 1";
       exit 2
     end;
     let scheduler =
@@ -336,6 +373,73 @@ let explore_cmd =
               prerr_endline ("afex: --latency: " ^ e);
               exit 2)
     in
+    (* Campaign identity: every flag that shapes the explored history.
+       Checked on --resume so a snapshot cannot silently continue under a
+       different configuration. jobs and --checkpoint-every are absent on
+       purpose — neither affects the history. *)
+    let checkpoint_meta =
+      let strategy_name =
+        match strategy with
+        | `Fitness -> "fitness"
+        | `Random -> "random"
+        | `Exhaustive -> "exhaustive"
+      in
+      [
+        ("format", "1");
+        ("target", target);
+        ("strategy", strategy_name);
+        ("seed", string_of_int seed);
+        ("iterations", string_of_int iterations);
+        ("batch", string_of_int batch);
+        ("feedback", string_of_bool feedback);
+        ("multi", string_of_bool multi);
+        ("seed-analysis", string_of_bool seed_analysis);
+        ("latency", Option.value latency ~default:"-");
+        ("inflight", string_of_int inflight);
+        ("adaptive", string_of_bool adaptive);
+        ("window-min", string_of_int window_min);
+        ("window-max", string_of_int window_max);
+        ("replay-trace", if replay_trace = None then "-" else "set");
+      ]
+    in
+    let checkpoint =
+      match (checkpoint_dir, resume_dir) with
+      | None, None -> None
+      | Some dir, None -> (
+          match
+            Afex_cluster.Checkpoint.start ~every:checkpoint_every ~dir
+              checkpoint_meta
+          with
+          | Ok cp -> Some cp
+          | Error e ->
+              prerr_endline ("afex: --checkpoint: " ^ e);
+              exit 2)
+      | None, Some dir -> (
+          match
+            Afex_cluster.Checkpoint.resume ~every:checkpoint_every ~dir
+              checkpoint_meta
+          with
+          | Ok cp -> Some cp
+          | Error e ->
+              prerr_endline ("afex: --resume: " ^ e);
+              exit 2)
+      | Some _, Some _ -> assert false
+    in
+    (match (checkpoint, scheduler) with
+    | Some cp, Some s -> (
+        match
+          Option.bind
+            (Afex_cluster.Checkpoint.loaded_snapshot cp)
+            (fun snap -> snap.Afex_cluster.Checkpoint.Snapshot.scheduler)
+        with
+        | None -> ()
+        | Some snap -> (
+            match Afex_cluster.Scheduler.restore s snap with
+            | Ok () -> ()
+            | Error e ->
+                prerr_endline ("afex: --resume: scheduler: " ^ e);
+                exit 2))
+    | _ -> ());
     match lookup_target target with
     | Error e ->
         prerr_endline e;
@@ -381,6 +485,7 @@ let explore_cmd =
           if
             jobs = 1 && batch = 1 && specs = [] && inflight = 1
             && latency_model = None && scheduler = None
+            && Option.is_none checkpoint
           then (Afex.Session.run ~iterations config sub executor, None)
           else begin
             let pool =
@@ -390,8 +495,8 @@ let explore_cmd =
               Fun.protect
                 ~finally:(fun () -> Afex_cluster.Pool.shutdown pool)
                 (fun () ->
-                  Afex_cluster.Pool.session ?scheduler ~batch_size:batch
-                    ~iterations pool config sub)
+                  Afex_cluster.Pool.session ?scheduler ?checkpoint
+                    ~batch_size:batch ~iterations pool config sub)
             in
             (result, Some (stats, Afex_cluster.Pool.remote_stats pool))
           end
@@ -481,7 +586,32 @@ let explore_cmd =
             let reps = Afex.Session.crash_cluster_representatives result in
             write path (Afex_report.Replay.suite ~target reps);
             Format.printf "@.replay suite for %d clusters written to %s@."
-              (List.length reps) path)
+              (List.length reps) path);
+        (match checkpoint with
+        | None -> ()
+        | Some cp ->
+            let st = Afex_cluster.Checkpoint.stats cp in
+            let path =
+              Filename.concat (Afex_cluster.Checkpoint.dir cp) "provenance.json"
+            in
+            write path
+              (Afex_report.Export.provenance_to_json ~target ~seed
+                 ~resumed:st.Afex_cluster.Checkpoint.was_resumed
+                 ~snapshots:st.Afex_cluster.Checkpoint.snapshots_written
+                 ~wal_appends:st.Afex_cluster.Checkpoint.wal_appends
+                 ~replayed_batches:st.Afex_cluster.Checkpoint.replayed_batches
+                 ~replayed_records:st.Afex_cluster.Checkpoint.replayed_records ());
+            Format.printf
+              "checkpoint: %d snapshots, %d journal appends%s; provenance in %s@."
+              st.Afex_cluster.Checkpoint.snapshots_written
+              st.Afex_cluster.Checkpoint.wal_appends
+              (if st.Afex_cluster.Checkpoint.was_resumed then
+                 Printf.sprintf " (replayed %d batches, %d journaled outcomes)"
+                   st.Afex_cluster.Checkpoint.replayed_batches
+                   st.Afex_cluster.Checkpoint.replayed_records
+               else "")
+              path;
+            Afex_cluster.Checkpoint.close cp)
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Run a fault exploration session against a target")
@@ -490,7 +620,7 @@ let explore_cmd =
       $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
       $ assess_arg $ jobs_arg $ batch_arg $ manager_arg $ inflight_arg $ latency_arg
       $ adaptive_arg $ window_min_arg $ window_max_arg $ trace_arg $ replay_trace_arg
-      $ verbose_arg)
+      $ checkpoint_arg $ checkpoint_every_arg $ resume_arg $ verbose_arg)
 
 (* --- afex serve --- *)
 

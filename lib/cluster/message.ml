@@ -243,6 +243,8 @@ let decode_coverage s =
     go [] (String.split_on_char ',' s)
   end
 
+let encode_fault f = escape (Scenario.to_string (Fault.to_scenario f))
+
 let report_of_outcome ~seq (o : Outcome.t) =
   {
     seq;
@@ -287,8 +289,7 @@ let encode_from_manager = function
       Printf.sprintf "RESULT %d %s %s %d %h %s %s %s %s" r.seq
         (status_token r.status)
         (if r.triggered then "T" else "N")
-        r.new_blocks r.duration_ms
-        (escape (Scenario.to_string (Fault.to_scenario r.fault)))
+        r.new_blocks r.duration_ms (encode_fault r.fault)
         (encode_coverage r.coverage)
         (encode_stack r.injection_stack)
         (encode_stack r.crash_stack)

@@ -16,6 +16,40 @@ val max_line : int
 (** Maximum accepted length of one protocol line (1 MiB); longer input is
     rejected by the decoders rather than parsed. *)
 
+(** {2 Field codecs}
+
+    The building blocks of the wire format, exposed so other line-oriented
+    formats (the checkpoint snapshot codec, the outcome write-ahead
+    journal) encode the same data the same way — and inherit decoders that
+    are already total and chaos-tested. *)
+
+val escape : string -> string
+(** Percent-escape: the result contains no spaces, commas, [%], control
+    or non-ASCII bytes, so it is safe as one token of a line. *)
+
+val unescape : string -> (string, string) result
+(** Total inverse of {!escape}. *)
+
+val status_token : Afex_injector.Outcome.status -> string
+val status_of_token : string -> (Afex_injector.Outcome.status, string) result
+
+val encode_stack : string list option -> string
+(** ["-"] for [None]; ["@<count>:<comma-joined escaped frames>"]
+    otherwise. *)
+
+val decode_stack : string -> (string list option, string) result
+
+val encode_coverage : int list -> string
+(** Ascending block indices as comma-joined runs (["a"], ["a-b"]); ["-"]
+    when empty. *)
+
+val decode_coverage : string -> (int list, string) result
+
+val encode_fault : Afex_injector.Fault.t -> string
+(** The fault as one escaped token (its scenario wire form). *)
+
+val decode_fault : string -> (Afex_injector.Fault.t, string) result
+
 (** {2 Handshake} *)
 
 type greeting = Welcome of int | Reject of string

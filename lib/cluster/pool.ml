@@ -337,18 +337,66 @@ type source =
   | From_worker of int  (* slot in this batch's thunk array *)
   | From_cache of Outcome.t
   | Duplicate of int  (* earlier submission index with the same scenario *)
+  | From_journal of int * Outcome.t
+      (* absolute iteration + outcome replayed from the checkpoint WAL *)
 
-let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
-    ?(memoize = true) ~iterations t config sub =
+let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
+    ?(batch_size = 32) ?(memoize = true) ~iterations t config sub =
   if batch_size < 1 then invalid_arg "Pool.session: batch_size must be positive";
+  (match (stop, checkpoint) with
+  | Some _, Some _ ->
+      invalid_arg
+        "Pool.session: a checkpoint cannot capture a stop predicate; bound a \
+         checkpointed campaign with iterations or a time budget"
+  | (Some _ | None), _ -> ());
   let started = Unix.gettimeofday () in
+  let resume_snap = Option.bind checkpoint Checkpoint.loaded_snapshot in
   let explorer =
-    Afex.Explorer.create ?transform config sub (explorer_executor t.executor)
+    match resume_snap with
+    | None ->
+        Afex.Explorer.create ?transform config sub (explorer_executor t.executor)
+    | Some snap -> (
+        match
+          Afex.Explorer.restore ?transform config sub
+            (explorer_executor t.executor)
+            snap.Checkpoint.Snapshot.explorer
+        with
+        | Ok e -> e
+        | Error m -> failwith ("Pool.session: cannot resume: " ^ m))
   in
   (* Per-batch RNG streams split off a session master: stream identity
      depends only on (seed, batch index, submission index), never on the
      worker that happens to run the task. *)
-  let master = Rng.create config.Afex.Config.seed in
+  let master =
+    match resume_snap with
+    | None -> Rng.create config.Afex.Config.seed
+    | Some snap -> Rng.of_state snap.Checkpoint.Snapshot.master_state
+  in
+  (* Absolute batch index across crashes — a resumed run keeps counting
+     where the snapshot stopped, so journal entries line up. *)
+  let abs_batch =
+    ref (match resume_snap with None -> 0 | Some s -> s.Checkpoint.Snapshot.batches)
+  in
+  let write_snapshot () =
+    match checkpoint with
+    | None -> ()
+    | Some cp ->
+        Checkpoint.write_snapshot cp
+          ~iterations:(Afex.Explorer.iterations explorer)
+          {
+            Checkpoint.Snapshot.meta = Checkpoint.meta cp;
+            batches = !abs_batch;
+            master_state = Rng.state master;
+            scheduler = Option.map Scheduler.snapshot scheduler;
+            explorer = Afex.Explorer.capture explorer;
+          }
+  in
+  (* A fresh checkpointed campaign writes its base snapshot before any
+     batch, so a crash before the first cadence snapshot still resumes
+     from iteration zero instead of refusing. *)
+  (match checkpoint with
+  | Some cp when not (Checkpoint.resumed cp) -> write_snapshot ()
+  | Some _ | None -> ());
   let cache : (string, Outcome.t) Hashtbl.t = Hashtbl.create 256 in
   let memoize =
     memoize
@@ -375,9 +423,17 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
     | Some budget -> Afex.Explorer.simulated_ms explorer >= budget
     | None -> false
   in
-  let issued = ref 0 and exhausted = ref false in
+  let issued = ref (Afex.Explorer.iterations explorer) and exhausted = ref false in
   let rec loop () =
-    if !issued >= iterations || !exhausted || target_met () || time_exhausted ()
+    (* Journaled batches replay unconditionally: they were already part
+       of the campaign, so stop conditions only apply to new work. *)
+    let replay =
+      match checkpoint with Some cp -> Checkpoint.next_replay cp | None -> None
+    in
+    if
+      replay = None
+      && (!issued >= iterations || !exhausted || target_met ()
+         || time_exhausted ())
     then ()
     else begin
       (* The scheduler owns the window when present; [batch_size] is the
@@ -386,7 +442,11 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
         match scheduler with Some s -> Scheduler.window s | None -> batch_size
       in
       let batch_started = Unix.gettimeofday () in
-      let want = min window (iterations - !issued) in
+      let want =
+        match replay with
+        | Some rb -> rb.Checkpoint.wb_n
+        | None -> min window (iterations - !issued)
+      in
       let batch_rng = Rng.split master in
       let rev_proposals = ref [] and count = ref 0 in
       while !count < want && not !exhausted do
@@ -401,6 +461,32 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
       if n > 0 then begin
         incr batches;
         issued := !issued + n;
+        let this_batch = !abs_batch in
+        incr abs_batch;
+        (* A replayed batch must regenerate exactly what the journal
+           recorded — the explorer is deterministic, so a mismatch means
+           the checkpoint belongs to a different campaign (and slipped
+           past the metadata check) or the journal is corrupt. *)
+        let journal =
+          match replay with
+          | Some rb ->
+              if rb.Checkpoint.wb_batch <> this_batch then
+                failwith
+                  (Printf.sprintf
+                     "Pool: journal replays batch %d where %d was expected"
+                     rb.Checkpoint.wb_batch this_batch);
+              if n <> rb.Checkpoint.wb_n then
+                failwith
+                  "Pool: the explorer regenerated a different batch than the \
+                   journal records";
+              Array.of_list rb.Checkpoint.wb_outcomes
+          | None ->
+              (match checkpoint with
+              | Some cp -> Checkpoint.append_batch cp ~batch:this_batch ~n
+              | None -> ());
+              [||]
+        in
+        let journaled = Array.length journal in
         let scenarios =
           Array.map (Afex.Explorer.scenario_for explorer) proposals
         in
@@ -447,24 +533,43 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
                     fresh scenario work)
           end
         in
+        let journal_source i =
+          let seq, key, report = journal.(i) in
+          let pkey = Point.key proposals.(i).Afex.Mutator.point in
+          if key <> pkey then
+            failwith
+              (Printf.sprintf
+                 "Pool: journaled outcome %d is for point %s, but the explorer \
+                  regenerated %s"
+                 seq key pkey);
+          match
+            Message.outcome_of_report ~total_blocks:(total_blocks t.executor)
+              report
+          with
+          | Ok outcome -> From_journal (seq, outcome)
+          | Error m -> failwith ("Pool: journaled outcome does not decode: " ^ m)
+        in
         let sources =
           Array.init n (fun i ->
-              match t.executor with
-              | Seeded { run; _ } ->
-                  let rng = rngs.(i) in
-                  (* The RNG closure cannot cross the wire: never remoted. *)
-                  fresh None (sync_work (fun () -> run rng scenarios.(i)))
-              | Pure exec ->
-                  memoized i
-                    (sync_work (fun () ->
-                         exec.Afex.Executor.run_scenario scenarios.(i)))
-              | Async a ->
-                  let start () = a.Afex.Executor.start scenarios.(i) in
-                  memoized i
-                    {
-                      run = (fun () -> Afex.Executor.run_job_blocking (start ()));
-                      start;
-                    })
+              if i < journaled then journal_source i
+              else
+                match t.executor with
+                | Seeded { run; _ } ->
+                    let rng = rngs.(i) in
+                    (* The RNG closure cannot cross the wire: never remoted. *)
+                    fresh None (sync_work (fun () -> run rng scenarios.(i)))
+                | Pure exec ->
+                    memoized i
+                      (sync_work (fun () ->
+                           exec.Afex.Executor.run_scenario scenarios.(i)))
+                | Async a ->
+                    let start () = a.Afex.Executor.start scenarios.(i) in
+                    memoized i
+                      {
+                        run =
+                          (fun () -> Afex.Executor.run_job_blocking (start ()));
+                        start;
+                      })
         in
         (* Phase boundaries for the scheduler's telemetry: everything up
            to here ran sequentially on the explorer thread (generation),
@@ -485,6 +590,14 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
             match sources.(i) with
             | From_cache outcome -> Ok outcome
             | From_worker slot -> results.(slot)
+            | From_journal (seq, outcome) ->
+                if seq <> Afex.Explorer.iterations explorer + 1 then
+                  Error
+                    (Failure
+                       (Printf.sprintf
+                          "Pool: journal replays iteration %d at position %d" seq
+                          (Afex.Explorer.iterations explorer + 1)))
+                else Ok outcome
             | Duplicate j -> (
                 match outcomes.(j) with
                 | Some outcome -> Ok outcome
@@ -495,6 +608,17 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
           | Error e -> raise e
           | Ok outcome ->
               outcomes.(i) <- Some outcome;
+              (* Journal the outcome before the explorer absorbs it: a
+                 crash between the two re-applies it from the journal on
+                 resume, which is idempotent — the reverse order would
+                 lose it. Already-journaled outcomes are not re-appended. *)
+              (match checkpoint with
+              | Some cp when i >= journaled ->
+                  Checkpoint.append_outcome cp ~batch:this_batch
+                    ~point_key:(Point.key proposals.(i).Afex.Mutator.point)
+                    ~seq:(Afex.Explorer.iterations explorer + 1)
+                    outcome
+              | Some _ | None -> ());
               if memoize then
                 Hashtbl.replace cache (Scenario.to_string scenarios.(i)) outcome;
               let case = Afex.Explorer.report explorer proposals.(i) outcome in
@@ -516,11 +640,26 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
               ~merge_ms:(1000.0 *. (merge_done -. exec_done))
               ~executed:(Array.length results) ~merged:n
         | None -> ());
+        (match checkpoint with
+        | Some cp ->
+            (* Snapshot when the cadence is due — and always right after
+               the last journaled batch drains, because that snapshot is
+               what retires the replayed journal entries. *)
+            let drained = replay <> None && not (Checkpoint.replay_pending cp) in
+            if
+              drained
+              || Checkpoint.due cp
+                   ~iterations:(Afex.Explorer.iterations explorer)
+            then write_snapshot ()
+        | None -> ());
         loop ()
       end
     end
   in
   loop ();
+  (* Final snapshot: the completed campaign is itself a resumable (and
+     re-resumable) state, and the journal is left empty. *)
+  (match checkpoint with Some _ -> write_snapshot () | None -> ());
   let result =
     Afex.Session.summarize explorer
       ~total_blocks:(total_blocks t.executor)
@@ -537,11 +676,12 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?(batch_size = 32)
       wall_ms = 1000.0 *. (Unix.gettimeofday () -. started);
     } )
 
-let run ?scheduler ?transform ?stop ?time_budget_ms ?batch_size ?memoize ?remotes
-    ?inflight ?request_timeout_ms ~jobs ~iterations config sub executor =
+let run ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint ?batch_size
+    ?memoize ?remotes ?inflight ?request_timeout_ms ~jobs ~iterations config sub
+    executor =
   let t = create ?remotes ?inflight ?request_timeout_ms ~jobs executor in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
-      session ?scheduler ?transform ?stop ?time_budget_ms ?batch_size ?memoize
-        ~iterations t config sub)
+      session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint ?batch_size
+        ?memoize ~iterations t config sub)

@@ -100,6 +100,7 @@ val session :
   ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
   ?stop:Afex.Session.stop ->
   ?time_budget_ms:float ->
+  ?checkpoint:Checkpoint.t ->
   ?batch_size:int ->
   ?memoize:bool ->
   iterations:int ->
@@ -129,13 +130,29 @@ val session :
     window at every batch boundary. Since outcomes still merge in
     submission order, the explored history depends only on the seed and
     the window {e sequence} — which the scheduler's trace records, so an
-    adaptive run replays bit-identically via [Scheduler.Replay]. *)
+    adaptive run replays bit-identically via [Scheduler.Replay].
+
+    [checkpoint] arms crash-safe campaign persistence: a fresh
+    {!Checkpoint.start} handle writes a base snapshot before the first
+    batch, journals every batch header and reported outcome, and
+    snapshots at the handle's cadence (always at batch boundaries, where
+    no candidate is in flight); a {!Checkpoint.resume} handle first
+    restores the snapshot, then replays the journaled batches —
+    journaled outcomes are applied without re-execution, a half-journaled
+    batch's tail is re-executed — before generating new work. Because
+    the explorer and the per-batch RNG streams are deterministic, the
+    resulting history (and every export derived from it) is byte-for-byte
+    the history the uninterrupted run would have produced.
+    @raise Invalid_argument when combined with [stop] (a predicate
+    cannot be captured in a snapshot); @raise Failure when the snapshot
+    or journal contradicts the regenerated campaign. *)
 
 val run :
   ?scheduler:Scheduler.t ->
   ?transform:(Afex_faultspace.Point.t -> Afex_faultspace.Point.t) ->
   ?stop:Afex.Session.stop ->
   ?time_budget_ms:float ->
+  ?checkpoint:Checkpoint.t ->
   ?batch_size:int ->
   ?memoize:bool ->
   ?remotes:Remote_manager.spec list ->

@@ -407,3 +407,66 @@ let observe t ~gen_ms ~exec_ms ~merge_ms ~executed ~merged =
           throughput);
   t.batches <- t.batches + 1;
   t.window <- next_window
+
+type snapshot = {
+  s_mode : string;
+  s_window : int;
+  s_batches : int;
+  s_prev_throughput : float option;
+  s_dir : string;
+  s_slow_start : bool;
+  s_suspect : bool;
+  s_rng_state : int64;
+  s_tel : telemetry option;
+}
+
+let mode_token = function
+  | Static -> "static"
+  | Adaptive -> "adaptive"
+  | Replay _ -> "replay"
+
+let dir_token = function Up -> "up" | Down -> "down" | Flat -> "flat"
+
+let dir_of_token = function
+  | "up" -> Ok Up
+  | "down" -> Ok Down
+  | "flat" -> Ok Flat
+  | s -> Error (Printf.sprintf "unknown direction %S" s)
+
+let snapshot t =
+  {
+    s_mode = mode_token t.mode;
+    s_window = t.window;
+    s_batches = t.batches;
+    s_prev_throughput = t.prev_throughput;
+    s_dir = dir_token t.dir;
+    s_slow_start = t.slow_start;
+    s_suspect = t.suspect;
+    s_rng_state = Rng.state t.rng;
+    s_tel = t.tel;
+  }
+
+let restore t s =
+  let err fmt = Printf.ksprintf (fun m -> Error ("Scheduler.restore: " ^ m)) fmt in
+  if mode_token t.mode <> s.s_mode then
+    err "snapshot was taken in %s mode, this scheduler runs %s" s.s_mode
+      (mode_token t.mode)
+  else if s.s_window < t.window_min || s.s_window > t.window_max then
+    err "window %d outside [%d, %d]" s.s_window t.window_min t.window_max
+  else if s.s_batches < 0 then err "negative batch count"
+  else
+    match dir_of_token s.s_dir with
+    | Error m -> err "%s" m
+    | Ok dir ->
+        t.window <- s.s_window;
+        t.batches <- s.s_batches;
+        t.prev_throughput <- s.s_prev_throughput;
+        t.dir <- dir;
+        t.slow_start <- s.s_slow_start;
+        t.suspect <- s.s_suspect;
+        t.tel <- s.s_tel;
+        Rng.set_state t.rng s.s_rng_state;
+        (* trace_rev stays empty: a resumed run's trace covers only the
+           batches it executed itself (the pre-crash prefix lives in the
+           checkpoint's journal, not here). *)
+        Ok ()

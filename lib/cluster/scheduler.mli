@@ -146,3 +146,27 @@ val telemetry : t -> telemetry option
 val trace : t -> Trace.t
 val batches : t -> int
 val bounds : t -> int * int
+
+(** {2 Checkpointing} *)
+
+type snapshot = {
+  s_mode : string;  (** ["static"], ["adaptive"] or ["replay"] *)
+  s_window : int;
+  s_batches : int;
+  s_prev_throughput : float option;
+  s_dir : string;  (** ["up"], ["down"] or ["flat"] *)
+  s_slow_start : bool;
+  s_suspect : bool;
+  s_rng_state : int64;
+  s_tel : telemetry option;
+}
+(** The controller's mutable state minus the trace log: enough for a
+    resumed campaign to keep hill-climbing from where it stopped. *)
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> (unit, string) result
+(** Overwrite a freshly created scheduler (same mode and bounds) with a
+    snapshot's state. The trace log intentionally starts empty: a resumed
+    run's trace covers only the batches it executed itself. [Error] on
+    mode mismatch, out-of-bounds window or unknown tokens. *)

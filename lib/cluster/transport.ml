@@ -28,6 +28,8 @@ let fnv1a32 s =
     s;
   !h
 
+let checksum = fnv1a32
+
 module Frame = struct
   let add_u32 b v =
     Buffer.add_char b (Char.chr ((v lsr 24) land 0xff));

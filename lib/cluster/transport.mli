@@ -29,6 +29,11 @@ val max_frame : int
     overwhelmingly likely to exceed this, turning stream desync into a
     prompt {!Frame_too_large} instead of an unbounded read. *)
 
+val checksum : string -> int
+(** The FNV-1a 32-bit checksum the frame layer uses, exposed so on-disk
+    formats (checkpoint snapshots, write-ahead journals) can share the
+    transport's corruption-detection discipline. *)
+
 (** Frame encoding, exposed for tests and manglers. *)
 module Frame : sig
   val encode : string -> string

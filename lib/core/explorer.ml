@@ -26,6 +26,7 @@ type t = {
   history : History.t;
   sensitivity : Sensitivity.t;
   pending : (string, unit) Hashtbl.t;
+  intern : Trace_intern.t;  (** shared by feedback and both indexes *)
   feedback : Feedback.t;
   failure_index : Index.t;
       (** injection stacks of triggered failing tests, clustered online *)
@@ -33,6 +34,7 @@ type t = {
   covered : Bitset.t;
   mutable seeds : Point.t list;  (** analysis-provided seeds, consumed first *)
   mutable cursor : Point.t Seq.t;  (** exhaustive strategy only *)
+  mutable cursor_consumed : int;  (** points taken off [cursor] so far *)
   mutable issued : int;
   mutable iterations : int;
   mutable records : Test_case.t list;  (** newest first *)
@@ -59,12 +61,14 @@ let create ?(transform = fun p -> p) config sub executor =
     pending = Hashtbl.create 64;
     (* One intern table for the whole session: redundancy feedback and
        both cluster indexes tokenize each stack frame exactly once. *)
+    intern;
     feedback = Feedback.create ~intern ();
     failure_index = Index.create ~intern ();
     crash_index = Index.create ~intern ();
     covered = Bitset.create executor.Executor.total_blocks;
     seeds = config.Config.initial_seeds;
     cursor = Subspace.enumerate sub;
+    cursor_consumed = 0;
     issued = 0;
     iterations = 0;
     records = [];
@@ -111,6 +115,7 @@ let next t =
         | Seq.Nil -> None
         | Seq.Cons (p, rest) ->
             t.cursor <- rest;
+            t.cursor_consumed <- t.cursor_consumed + 1;
             Some { Mutator.point = p; mutated_axis = None })
     | Config.Fitness_guided params -> (
         (* Analysis-provided seeds run before anything else (§4). *)
@@ -237,3 +242,173 @@ let queue_snapshot t = Pqueue.elements t.queue
 let history_size t = History.size t.history
 let subspace t = t.sub
 let config t = t.config
+
+module Snapshot = struct
+  type explorer = t
+
+  type t = {
+    rng_state : int64;
+    issued : int;
+    iterations : int;
+    failed : int;
+    crashed : int;
+    hung : int;
+    triggered : int;
+    simulated_ms : float;
+    cursor_consumed : int;
+    covered : int list;  (* ascending block indices *)
+    records : Test_case.t list;  (* chronological *)
+    queue : int list;  (* birth ids, Pqueue.elements order *)
+    seeds : Point.t list;  (* analysis seeds not yet consumed *)
+    sensitivity : float list array;
+    intern_frames : string array;
+    feedback : int array list;
+    failure_index : Index.dump;
+    crash_index : Index.dump;
+  }
+
+  let capture (e : explorer) =
+    if Hashtbl.length e.pending <> 0 then
+      invalid_arg
+        "Explorer.Snapshot.capture: candidates still in flight — snapshots \
+         are only taken at batch boundaries";
+    {
+      rng_state = Rng.state e.rng;
+      issued = e.issued;
+      iterations = e.iterations;
+      failed = e.failed;
+      crashed = e.crashed;
+      hung = e.hung;
+      triggered = e.triggered;
+      simulated_ms = e.simulated_ms;
+      cursor_consumed = e.cursor_consumed;
+      covered = Bitset.to_list e.covered;
+      records = List.rev e.records;
+      queue = List.map (fun c -> c.Test_case.birth) (Pqueue.elements e.queue);
+      seeds = e.seeds;
+      sensitivity = Sensitivity.dump e.sensitivity;
+      intern_frames = Trace_intern.dump e.intern;
+      feedback = Feedback.dump e.feedback;
+      failure_index = Index.dump e.failure_index;
+      crash_index = Index.dump e.crash_index;
+    }
+end
+
+let capture = Snapshot.capture
+
+let restore ?(transform = fun p -> p) config sub executor (s : Snapshot.t) =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error ("Explorer.restore: " ^ m)) fmt in
+  let* intern = Trace_intern.of_frames s.Snapshot.intern_frames in
+  let* feedback = Feedback.load ~intern s.Snapshot.feedback in
+  let* failure_index = Index.load ~intern s.Snapshot.failure_index in
+  let* crash_index = Index.load ~intern s.Snapshot.crash_index in
+  let* sensitivity =
+    Sensitivity.load ~window:config.Config.sensitivity_window
+      ~dims:(Subspace.dim sub) s.Snapshot.sensitivity
+  in
+  let covered = Bitset.create executor.Executor.total_blocks in
+  let* () =
+    try
+      List.iter (Bitset.set covered) s.Snapshot.covered;
+      Ok ()
+    with Invalid_argument _ ->
+      err "covered block outside the target's %d blocks"
+        executor.Executor.total_blocks
+  in
+  (* Records are appended with birth = iteration count, so the k-th
+     chronological record must carry birth k+1; anything else means the
+     snapshot is inconsistent even though its checksum held. *)
+  let* () =
+    let rec check i = function
+      | [] ->
+          if i = s.Snapshot.iterations then Ok ()
+          else err "%d records for %d iterations" i s.Snapshot.iterations
+      | c :: rest ->
+          if c.Test_case.birth <> i + 1 then
+            err "record %d carries birth %d" i c.Test_case.birth
+          else check (i + 1) rest
+    in
+    check 0 s.Snapshot.records
+  in
+  let* () =
+    let count f = List.fold_left (fun n c -> if f c then n + 1 else n) 0 s.Snapshot.records in
+    let failed = count Test_case.failed
+    and crashed = count (fun c -> c.Test_case.status = Outcome.Crashed)
+    and hung = count (fun c -> c.Test_case.status = Outcome.Hung)
+    and triggered = count (fun c -> c.Test_case.triggered) in
+    if
+      failed <> s.Snapshot.failed
+      || crashed <> s.Snapshot.crashed
+      || hung <> s.Snapshot.hung
+      || triggered <> s.Snapshot.triggered
+    then err "statistics disagree with the records"
+    else Ok ()
+  in
+  let* () = if s.Snapshot.issued < 0 then err "negative issued count" else Ok () in
+  let history = History.create () in
+  List.iter (fun c -> History.add history c.Test_case.point) s.Snapshot.records;
+  (* The queue is restored by reference into the record list: aging decays
+     the very fitness values the history reports, exactly as live. *)
+  let by_birth = Hashtbl.create 64 in
+  List.iter
+    (fun c -> Hashtbl.replace by_birth c.Test_case.birth c)
+    s.Snapshot.records;
+  let* queue_entries =
+    let seen = Hashtbl.create 16 in
+    let rec resolve acc = function
+      | [] -> Ok (List.rev acc)
+      | b :: rest -> (
+          if Hashtbl.mem seen b then err "queue lists test %d twice" b
+          else begin
+            Hashtbl.replace seen b ();
+            match Hashtbl.find_opt by_birth b with
+            | Some c -> resolve (c :: acc) rest
+            | None -> err "queue refers to unknown test %d" b
+          end)
+    in
+    resolve [] s.Snapshot.queue
+  in
+  let* queue = Pqueue.load ~capacity:config.Config.queue_capacity queue_entries in
+  let* cursor =
+    if s.Snapshot.cursor_consumed < 0 then err "negative cursor position"
+    else begin
+      let c = ref (Subspace.enumerate sub) in
+      let short = ref false in
+      for _ = 1 to s.Snapshot.cursor_consumed do
+        if not !short then
+          match !c () with
+          | Seq.Nil -> short := true
+          | Seq.Cons (_, rest) -> c := rest
+      done;
+      if !short then err "cursor beyond the end of the subspace" else Ok !c
+    end
+  in
+  Ok
+    {
+      config;
+      sub;
+      executor;
+      transform;
+      rng = Rng.of_state s.Snapshot.rng_state;
+      queue;
+      history;
+      sensitivity;
+      pending = Hashtbl.create 64;
+      intern;
+      feedback;
+      failure_index;
+      crash_index;
+      covered;
+      seeds = s.Snapshot.seeds;
+      cursor;
+      cursor_consumed = s.Snapshot.cursor_consumed;
+      issued = s.Snapshot.issued;
+      iterations = s.Snapshot.iterations;
+      records = List.rev s.Snapshot.records;
+      failed = s.Snapshot.failed;
+      crashed = s.Snapshot.crashed;
+      hung = s.Snapshot.hung;
+      triggered = s.Snapshot.triggered;
+      simulated_ms = s.Snapshot.simulated_ms;
+    }

@@ -10,6 +10,12 @@ let create ~capacity =
   if capacity < 1 then invalid_arg "Pqueue.create: capacity < 1";
   { capacity; entries = [] }
 
+let load ~capacity entries =
+  if capacity < 1 then Error "Pqueue.load: capacity < 1"
+  else if List.length entries > capacity then
+    Error "Pqueue.load: more entries than capacity"
+  else Ok { capacity; entries }
+
 let size t = List.length t.entries
 let is_empty t = t.entries = []
 let capacity t = t.capacity

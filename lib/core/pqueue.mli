@@ -11,6 +11,12 @@ type t
 val create : capacity:int -> t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
+val load : capacity:int -> Test_case.t list -> (t, string) result
+(** Rebuild a queue from {!elements} output (same order, same sharing):
+    snapshot restore hands back the exact test-case records so aging keeps
+    mutating the fitness the explorer's history also sees. [Error] when
+    the entries overflow [capacity]. *)
+
 val size : t -> int
 val is_empty : t -> bool
 val capacity : t -> int

@@ -40,3 +40,20 @@ let probabilities t =
   end
 
 let dims t = Array.length t.axes
+
+let dump t = Array.map (fun state -> state.samples) t.axes
+
+let load ?(window = 20) ~dims samples =
+  if dims < 1 then Error "Sensitivity.load: dims < 1"
+  else if window < 1 then Error "Sensitivity.load: window < 1"
+  else if Array.length samples <> dims then
+    Error
+      (Printf.sprintf "Sensitivity.load: %d axes of samples for %d dimensions"
+         (Array.length samples) dims)
+  else if Array.exists (fun s -> List.length s > window) samples then
+    Error "Sensitivity.load: more samples than the window admits"
+  else begin
+    let t = create ~window ~dims () in
+    Array.iteri (fun i s -> t.axes.(i).samples <- s) samples;
+    Ok t
+  end

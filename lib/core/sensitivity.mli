@@ -22,3 +22,10 @@ val probabilities : t -> float array
     completely. *)
 
 val dims : t -> int
+
+val dump : t -> float list array
+(** Per-axis sample windows, newest first — the entire mutable state. *)
+
+val load : ?window:int -> dims:int -> float list array -> (t, string) result
+(** Inverse of {!dump}. [Error] — never an exception — when the axis
+    count disagrees with [dims] or any window is over-full. *)

@@ -26,3 +26,13 @@ val register : t -> string list -> unit
 val weigh_fitness : t -> trace:string list option -> float -> float
 (** Apply the linear redundancy scale to a fitness value and register the
     trace. [None] traces (fault did not trigger) pass through unchanged. *)
+
+val dump : t -> int array list
+(** Registered distinct traces as interned token arrays, in registration
+    order — enough to rebuild the store bit-for-bit, since every internal
+    structure is a deterministic function of that sequence. *)
+
+val load : ?intern:Trace_intern.t -> int array list -> (t, string) result
+(** Inverse of {!dump} against the same (restored) intern table. [Error]
+    — never an exception — on token ids outside the table or duplicate
+    traces. *)

@@ -17,3 +17,18 @@ val csv_escape : string -> string
 val json_escape : string -> string
 (** Escape a string for inclusion in a JSON literal (without the outer
     quotes). *)
+
+val provenance_to_json :
+  target:string ->
+  seed:int ->
+  resumed:bool ->
+  snapshots:int ->
+  wal_appends:int ->
+  replayed_batches:int ->
+  replayed_records:int ->
+  unit ->
+  string
+(** Checkpoint provenance record ([provenance.json] in the checkpoint
+    directory): how a campaign's durable state was produced. Carries a
+    [schema] version so downstream tooling can evolve; the session
+    summary's shape ({!summary_to_json}) stays untouched. *)

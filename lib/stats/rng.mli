@@ -15,6 +15,21 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** The raw 64-bit stream position. Together with {!of_state} this makes
+    a generator checkpointable: a campaign snapshot stores the positions
+    of its RNG streams and a resumed run continues them exactly where the
+    interrupted one stopped. *)
+
+val of_state : int64 -> t
+(** [of_state s] is a generator whose next outputs equal those of any
+    generator whose {!state} was [s]. Inverse of {!state}. *)
+
+val set_state : t -> int64 -> unit
+(** Rewind/fast-forward an existing generator to a saved position —
+    for generators owned by an enclosing structure (e.g. a scheduler)
+    whose field cannot be replaced. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent from the remainder of [t]'s stream. *)

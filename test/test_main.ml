@@ -15,6 +15,7 @@ let () =
       ("async", Test_async.suite);
       ("sched", Test_sched.suite);
       ("pool", Test_pool.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
       ("misc", Test_misc.suite);
