@@ -20,6 +20,7 @@ let experiments ~smoke =
     ("async", fun () -> Experiments.async ());
     ("adapt", fun () -> Experiments.adapt ());
     ("quality", fun () -> Experiments.quality ~smoke ());
+    ("replsim", fun () -> Experiments.replsim ~smoke ());
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());

@@ -40,8 +40,83 @@ let lookup_target name =
   | Some (_, target, space) -> Ok (target (), space ())
   | None ->
       Error
-        (Printf.sprintf "unknown target %S (try: %s)" name
+        (Printf.sprintf "unknown target %S (try: %s, replsim[:n=N,...])" name
            (String.concat ", " (List.map (fun (n, _, _) -> n) targets_registry)))
+
+(* The replicated-consensus target is scenario-driven (its fault axes are
+   ⟨round, replica, kind, peer⟩, not callsites), so it lives outside the
+   Target.t registry: "replsim" or "replsim:n=9,rounds=500,seed=3,churn=7"
+   resolves to a cluster whose executor wraps Replfault.run_scenario. *)
+module Replsim = Afex_simtarget.Replsim
+module Replfault = Afex_injector.Replfault
+
+let parse_replsim name =
+  let build params =
+    let n = ref 9
+    and rounds = ref None
+    and seed = ref None
+    and churn = ref None in
+    let parse_one kv =
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "replsim: expected KEY=INT, got %S" kv)
+      | Some i -> (
+          let key = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          match int_of_string_opt v with
+          | None -> Error (Printf.sprintf "replsim: %s: not an integer: %S" key v)
+          | Some v -> (
+              match key with
+              | "n" ->
+                  n := v;
+                  Ok ()
+              | "rounds" ->
+                  rounds := Some v;
+                  Ok ()
+              | "seed" ->
+                  seed := Some v;
+                  Ok ()
+              | "churn" ->
+                  churn := Some v;
+                  Ok ()
+              | _ ->
+                  Error
+                    (Printf.sprintf
+                       "replsim: unknown parameter %S (try n, rounds, seed, churn)"
+                       key)))
+    in
+    let rec go = function
+      | [] -> (
+          try
+            Ok
+              (Replsim.make ?rounds:!rounds ?seed:!seed ?churn_period:!churn
+                 ~n:!n ())
+          with Invalid_argument m -> Error m)
+      | kv :: rest -> ( match parse_one kv with Ok () -> go rest | Error _ as e -> e)
+    in
+    go params
+  in
+  if String.equal name "replsim" then Some (build [])
+  else if String.length name > 8 && String.sub name 0 8 = "replsim:" then
+    Some
+      (build
+         (String.split_on_char ','
+            (String.sub name 8 (String.length name - 8))))
+  else None
+
+let replsim_executor cluster =
+  Afex.Executor.of_scenario_fn
+    ~total_blocks:(Replsim.total_blocks cluster)
+    ~description:(Replfault.description cluster)
+    (Replfault.run_scenario cluster)
+
+(* Exit-on-error variant for commands where a replsim spec is valid. *)
+let parse_replsim_exn name =
+  match parse_replsim name with
+  | None -> None
+  | Some (Ok cluster) -> Some cluster
+  | Some (Error e) ->
+      prerr_endline ("afex: " ^ e);
+      exit 2
 
 (* A --manager argument is HOST:PORT; the straggler timeout keeps a dead
    manager from stalling the campaign (its scenarios are requeued on a
@@ -94,7 +169,11 @@ let targets_cmd =
         Format.printf "%-12s %a@.             fault space: %d faults@." name
           Target.pp_summary t
           (Afex_faultspace.Subspace.cardinality (space ())))
-      targets_registry
+      targets_registry;
+    let c = Replsim.make ~n:9 () in
+    Format.printf "%-12s %a@.             fault space: %d faults@." "replsim"
+      Replsim.pp_summary c
+      (Afex_faultspace.Subspace.cardinality (Replfault.space c))
   in
   Cmd.v (Cmd.info "targets" ~doc:"List the built-in simulated targets")
     Term.(const run $ const ())
@@ -111,6 +190,21 @@ let describe_cmd =
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
   let run target profile =
+    match parse_replsim_exn target with
+    | Some cluster ->
+        if profile then begin
+          prerr_endline
+            "afex: --profile needs a callsite-instrumented target; replsim's \
+             axes are round/replica/kind/peer";
+          exit 2
+        end;
+        Format.printf "%a@." Replsim.pp_summary cluster;
+        Format.printf "single-arm fault space:@.  %a@." Afex_faultspace.Subspace.pp
+          (Replfault.space cluster);
+        Format.printf "2-arm compound space (--multi):@.  %a@."
+          Afex_faultspace.Subspace.pp
+          (Replfault.multi_space ~arms:2 cluster)
+    | None -> (
     match lookup_target target with
     | Error e ->
         prerr_endline e;
@@ -127,7 +221,7 @@ let describe_cmd =
             Afex_faultspace.Axis.cardinality (Afex_faultspace.Subspace.axis sub 2)
           in
           print_string (Afex_simtarget.Tracer.standard_description t ~funcs ~max_call)
-        end
+        end)
   in
   Cmd.v
     (Cmd.info "describe" ~doc:"Print a target's fault space description")
@@ -440,17 +534,62 @@ let explore_cmd =
                 prerr_endline ("afex: --resume: scheduler: " ^ e);
                 exit 2))
     | _ -> ());
-    match lookup_target target with
-    | Error e ->
-        prerr_endline e;
-        exit 2
-    | Ok (t, sub) ->
-        let sub =
-          if multi then
-            Afex_simtarget.Spaces.multi ~arms:2 ~min_call:1 ~max_call:6
-              ~funcs:Afex_simtarget.Libc.standard19 t
-          else sub
-        in
+    let executor, sub, analysis_seeds =
+      match parse_replsim_exn target with
+      | Some cluster ->
+          if assess <> None then begin
+            prerr_endline
+              "afex: --assess replays faults through the generic callsite \
+               codec, which replsim scenarios do not use";
+            exit 2
+          end;
+          let arms = if multi then 2 else 1 in
+          let sub =
+            if multi then Replfault.multi_space ~arms cluster
+            else Replfault.space cluster
+          in
+          let seeds =
+            (* For replsim the "static analysis" is the cluster's observable
+               structure: scheduled recovery windows and the fault-free
+               leader trace. *)
+            if seed_analysis then begin
+              let seeds = Replfault.seed_points ~arms cluster in
+              Format.printf "seeded with %d churn-schedule-derived scenarios@."
+                (List.length seeds);
+              seeds
+            end
+            else []
+          in
+          (replsim_executor cluster, sub, seeds)
+      | None -> (
+          match lookup_target target with
+          | Error e ->
+              prerr_endline e;
+              exit 2
+          | Ok (t, sub) ->
+              let sub =
+                if multi then
+                  Afex_simtarget.Spaces.multi ~arms:2 ~min_call:1 ~max_call:6
+                    ~funcs:Afex_simtarget.Libc.standard19 t
+                else sub
+              in
+              let seeds =
+                if seed_analysis then begin
+                  let findings = Afex_simtarget.Analyzer.analyze t in
+                  let seeds = Afex.Seeding.points_for sub t findings ~max_seeds:50 in
+                  Format.printf "seeded with %d analysis-derived injections@."
+                    (List.length seeds);
+                  seeds
+                end
+                else []
+              in
+              let executor =
+                if multi then Afex.Executor.of_target_multi t
+                else Afex.Executor.of_target t
+              in
+              (executor, sub, seeds))
+    in
+    begin
         let config =
           match strategy with
           | `Fitness -> Afex.Config.fitness_guided ~seed ()
@@ -459,16 +598,8 @@ let explore_cmd =
         in
         let config = { config with Afex.Config.feedback } in
         let config =
-          if seed_analysis then begin
-            let findings = Afex_simtarget.Analyzer.analyze t in
-            let seeds = Afex.Seeding.points_for sub t findings ~max_seeds:50 in
-            Format.printf "seeded with %d analysis-derived injections@." (List.length seeds);
-            { config with Afex.Config.initial_seeds = seeds }
-          end
-          else config
-        in
-        let executor =
-          if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
+          if analysis_seeds = [] then config
+          else { config with Afex.Config.initial_seeds = analysis_seeds }
         in
         let pool_executor =
           match latency_model with
@@ -612,6 +743,7 @@ let explore_cmd =
                else "")
               path;
             Afex_cluster.Checkpoint.close cp)
+    end
   in
   Cmd.v
     (Cmd.info "explore" ~doc:"Run a fault exploration session against a target")
@@ -656,14 +788,22 @@ let serve_cmd =
   in
   let run target host port once multi latency verbosity =
     setup_logging verbosity;
-    match lookup_target target with
-    | Error e ->
-        prerr_endline e;
-        exit 2
-    | Ok (t, _) -> (
-        let executor =
-          if multi then Afex.Executor.of_target_multi t else Afex.Executor.of_target t
-        in
+    let executor =
+      match parse_replsim_exn target with
+      | Some cluster ->
+          (* replsim decodes any number of arms from one scenario, so the
+             same executor serves --multi and single-fault clients. *)
+          replsim_executor cluster
+      | None -> (
+          match lookup_target target with
+          | Error e ->
+              prerr_endline e;
+              exit 2
+          | Ok (t, _) ->
+              if multi then Afex.Executor.of_target_multi t
+              else Afex.Executor.of_target t)
+    in
+    (
         let executor =
           match latency with
           | None -> executor
@@ -735,18 +875,31 @@ let inject_cmd =
           ~doc:"Exit non-zero unless the outcome status equals $(docv).")
   in
   let run target test_id func call errno retval print_status expect =
-    match lookup_target target with
-    | Error e ->
-        prerr_endline e;
-        exit 2
-    | Ok (t, _) ->
-        let fault = Fault.make ~test_id ~func ~call_number:call ?errno ?retval () in
-        let outcome =
-          try Engine.run t fault
-          with Invalid_argument m ->
-            prerr_endline m;
-            exit 2
-        in
+    let fault = Fault.make ~test_id ~func ~call_number:call ?errno ?retval () in
+    let outcome =
+      match parse_replsim_exn target with
+      | Some cluster -> (
+          (* The generic flags carry the replsim coordinates through the
+             Fault.t embedding: --function repl_<kind>, --test replica,
+             --call round, --retval peer. *)
+          match Replfault.rfault_of_fault fault with
+          | Error m ->
+              prerr_endline ("afex: " ^ m);
+              exit 2
+          | Ok rf ->
+              Replfault.run_scenario cluster (Replfault.scenario_of_faults [ rf ]))
+      | None -> (
+          match lookup_target target with
+          | Error e ->
+              prerr_endline e;
+              exit 2
+          | Ok (t, _) -> (
+              try Engine.run t fault
+              with Invalid_argument m ->
+                prerr_endline m;
+                exit 2))
+    in
+    begin
         let status = Outcome.status_to_string outcome.Outcome.status in
         if print_status then print_endline status
         else begin
@@ -767,6 +920,7 @@ let inject_cmd =
             Format.eprintf "expected %s, observed %s@." expected status;
             exit 1
         | Some _ | None -> ()
+    end
   in
   Cmd.v
     (Cmd.info "inject" ~doc:"Replay a single fault injection")
@@ -785,6 +939,12 @@ let analyze_cmd =
       value & opt float 0.6 & info [ "precision" ] ~docv:"P" ~doc:"Analyzer precision in [0,1].")
   in
   let run target recall precision seed =
+    if parse_replsim_exn target <> None then begin
+      prerr_endline
+        "afex: analyze needs a callsite-instrumented target; replsim's fault \
+         axes are round/replica/kind/peer";
+      exit 2
+    end;
     match lookup_target target with
     | Error e ->
         prerr_endline e;

@@ -29,6 +29,14 @@ let fault_of_drop (d : Netsim.drop) =
     ~errno:"EDROP" ~retval:d.Netsim.connection ()
 
 let drop_of_fault (f : Fault.t) =
+  (* Guard the namespace: a burst fault shares the field layout (test_id,
+     retval, call_number = window lo), so decoding it here would silently
+     fabricate a single-packet drop — surfaced by the codec round-trip
+     properties, which demand that only drop-encoded faults decode. *)
+  if not (String.equal f.Fault.func "tcp_drop") then
+    invalid_arg
+      (Printf.sprintf "Netfault.drop_of_fault: not a drop fault encoding: %s"
+         f.Fault.func);
   {
     Netsim.workload = f.Fault.test_id;
     connection = f.Fault.retval;
@@ -87,6 +95,10 @@ let run_scenario server scenario =
       }
 
 let throughput_loss server fault =
+  (* Mirror burst_throughput_loss: a foreign fault encoding scores 0
+     instead of being re-run as a fabricated drop. *)
+  if not (String.equal fault.Fault.func "tcp_drop") then 0.0
+  else
   let drop = drop_of_fault fault in
   let workload = drop.Netsim.workload in
   if workload < 0 || workload >= Array.length server.Netsim.workloads then 0.0

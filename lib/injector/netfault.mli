@@ -18,7 +18,9 @@ val drop_of_scenario :
 val drop_of_fault : Fault.t -> Afex_simtarget.Netsim.drop
 (** Inverse of the synthesized-fault encoding used in outcomes: [test_id]
     is the workload, [call_number] the packet index, [retval] the
-    connection, [func] = ["tcp_drop"]. *)
+    connection, [func] = ["tcp_drop"].
+    @raise Invalid_argument on any other [func] (notably the burst
+    encoding, whose fields would otherwise mis-decode as a drop). *)
 
 val run_scenario :
   Afex_simtarget.Netsim.server ->
@@ -43,7 +45,8 @@ val throughput_loss_sensor : Afex_simtarget.Netsim.server -> Sensor.t
     deterministic, so this is exact. *)
 
 val throughput_loss : Afex_simtarget.Netsim.server -> Fault.t -> float
-(** Percentage of baseline throughput lost by one drop. *)
+(** Percentage of baseline throughput lost by one drop (0 for a fault
+    that is not drop-encoded). *)
 
 (** {2 Burst drops}
 

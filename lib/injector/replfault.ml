@@ -1,0 +1,361 @@
+module Replsim = Afex_simtarget.Replsim
+module Axis = Afex_faultspace.Axis
+module Subspace = Afex_faultspace.Subspace
+module Value = Afex_faultspace.Value
+
+let kind_symbols = List.map Replsim.kind_to_string Replsim.all_kinds
+
+let arm_axes cluster suffix =
+  let cfg = Replsim.config cluster in
+  [
+    Axis.range ("round" ^ suffix) ~lo:0 ~hi:(cfg.Replsim.rounds - 1);
+    Axis.range ("replica" ^ suffix) ~lo:0 ~hi:(cfg.Replsim.n - 1);
+    Axis.symbols ("kind" ^ suffix) kind_symbols;
+    Axis.range ("peer" ^ suffix) ~lo:0 ~hi:(cfg.Replsim.n - 1);
+  ]
+
+let space cluster = Subspace.make ~label:"replsim.faults" (arm_axes cluster "")
+
+let multi_space ?(arms = 2) cluster =
+  if arms < 1 then invalid_arg "Replfault.multi_space: arms < 1";
+  Subspace.make ~label:"replsim.multi"
+    (List.concat_map
+       (fun i -> arm_axes cluster (if i = 0 then "" else string_of_int (i + 1)))
+       (List.init arms (fun i -> i)))
+
+(* --- Fault.t embedding ------------------------------------------------ *)
+
+let errno_of_kind = function
+  | Replsim.Kill -> "EKILL"
+  | Replsim.Drop_acks -> "EDROPACK"
+  | Replsim.Stale_backup -> "ESTALE"
+  | Replsim.Delayed_rejoin -> "EDELAY"
+
+let fault_of_rfault (rf : Replsim.fault) =
+  Fault.make ~test_id:rf.Replsim.replica
+    ~func:("repl_" ^ Replsim.kind_to_string rf.Replsim.kind)
+    ~call_number:rf.Replsim.round
+    ~errno:(errno_of_kind rf.Replsim.kind)
+    ~retval:rf.Replsim.peer ()
+
+let rfault_of_fault (f : Fault.t) =
+  let prefix = "repl_" in
+  let np = String.length prefix in
+  if String.length f.Fault.func <= np || String.sub f.Fault.func 0 np <> prefix then
+    Error (Printf.sprintf "not a replsim fault encoding: %s" f.Fault.func)
+  else
+    match
+      Replsim.kind_of_string
+        (String.sub f.Fault.func np (String.length f.Fault.func - np))
+    with
+    | Error _ as e -> e
+    | Ok kind ->
+        Ok
+          {
+            Replsim.round = f.Fault.call_number;
+            replica = f.Fault.test_id;
+            kind;
+            peer = f.Fault.retval;
+          }
+
+(* --- scenario codec --------------------------------------------------- *)
+
+let scenario_of_faults faults =
+  List.concat
+    (List.mapi
+       (fun i (rf : Replsim.fault) ->
+         let suffix = if i = 0 then "" else string_of_int (i + 1) in
+         [
+           ("round" ^ suffix, Value.Int rf.Replsim.round);
+           ("replica" ^ suffix, Value.Int rf.Replsim.replica);
+           ("kind" ^ suffix, Value.Sym (Replsim.kind_to_string rf.Replsim.kind));
+           ("peer" ^ suffix, Value.Int rf.Replsim.peer);
+         ])
+       faults)
+
+type partial_arm = {
+  p_round : int;
+  mutable p_replica : int;
+  mutable p_kind : Replsim.kind option;
+  mutable p_peer : int;
+}
+
+let faults_of_scenario scenario =
+  (* Groups of attributes, one per arm; a group starts at each "round"
+     binding. Suffixed names (round2, kind2, ... from compound search
+     spaces) are accepted, exactly as in {!Multifault.of_scenario}. *)
+  let strip_suffix name prefix =
+    let np = String.length prefix in
+    String.length name >= np
+    && String.sub name 0 np = prefix
+    && String.for_all
+         (fun c -> c >= '0' && c <= '9')
+         (String.sub name np (String.length name - np))
+  in
+  let groups = ref [] and current = ref None in
+  let flush () =
+    match !current with
+    | Some arm -> groups := arm :: !groups
+    | None -> ()
+  in
+  let err =
+    List.fold_left
+      (fun err (name, v) ->
+        match err with
+        | Some _ -> err
+        | None -> (
+            match v with
+            | Value.Int r when strip_suffix name "round" ->
+                flush ();
+                current := Some { p_round = r; p_replica = 0; p_kind = None; p_peer = 0 };
+                None
+            | Value.Int i when strip_suffix name "replica" -> (
+                match !current with
+                | Some arm ->
+                    arm.p_replica <- i;
+                    None
+                | None -> Some (Printf.sprintf "%s before any round" name))
+            | Value.Sym k when strip_suffix name "kind" -> (
+                match !current with
+                | Some arm -> (
+                    match Replsim.kind_of_string k with
+                    | Ok kind ->
+                        arm.p_kind <- Some kind;
+                        None
+                    | Error e -> Some e)
+                | None -> Some (Printf.sprintf "%s before any round" name))
+            | Value.Int p when strip_suffix name "peer" -> (
+                match !current with
+                | Some arm ->
+                    arm.p_peer <- p;
+                    None
+                | None -> Some (Printf.sprintf "%s before any round" name))
+            | _ -> Some (Printf.sprintf "unexpected attribute %s" name)))
+      None scenario
+  in
+  flush ();
+  match err with
+  | Some e -> Error e
+  | None -> (
+      match List.rev !groups with
+      | [] -> Error "no fault arms"
+      | groups ->
+          let rec build acc = function
+            | [] -> Ok (List.rev acc)
+            | g :: rest -> (
+                match g.p_kind with
+                | None -> Error "arm missing kind"
+                | Some kind ->
+                    build
+                      ({
+                         Replsim.round = g.p_round;
+                         replica = g.p_replica;
+                         kind;
+                         peer = g.p_peer;
+                       }
+                      :: acc)
+                      rest)
+          in
+          build [] groups)
+
+(* --- execution -------------------------------------------------------- *)
+
+let outcome_fault faults (result : Replsim.run_result) =
+  (* The arm the outcome is attributed to: the latest arm activated at or
+     before the violation round — in a correlated scenario, the "second
+     fault" that landed inside the window — falling back to the first. *)
+  let bound =
+    match result.Replsim.violation with
+    | Some v -> v.Replsim.v_round
+    | None -> max_int
+  in
+  let best =
+    List.fold_left
+      (fun best (rf : Replsim.fault) ->
+        if rf.Replsim.round > bound then best
+        else
+          match best with
+          | None -> Some rf
+          | Some b -> if rf.Replsim.round >= b.Replsim.round then Some rf else best)
+      None faults
+  in
+  match best with Some rf -> rf | None -> List.hd faults
+
+let run_scenario cluster scenario =
+  match faults_of_scenario scenario with
+  | Error m -> invalid_arg ("Replfault.run_scenario: " ^ m)
+  | Ok faults ->
+      let result = Replsim.run cluster ~faults in
+      let rf = outcome_fault faults result in
+      let status, crash_stack =
+        match result.Replsim.violation with
+        | Some v when v.Replsim.invariant = "liveness" -> (Outcome.Hung, None)
+        | Some v -> (Outcome.Crashed, Some v.Replsim.site)
+        | None ->
+            if result.Replsim.commits < (Replsim.baseline cluster).Replsim.commits
+            then (Outcome.Test_failed, None)
+            else (Outcome.Passed, None)
+      in
+      let injection_stack =
+        if result.Replsim.triggered then
+          Some
+            [
+              "repl:" ^ Replsim.kind_to_string rf.Replsim.kind;
+              "replsim:round_loop";
+            ]
+        else None
+      in
+      {
+        Outcome.fault = fault_of_rfault rf;
+        status;
+        triggered = result.Replsim.triggered;
+        coverage = result.Replsim.coverage;
+        injection_stack;
+        crash_stack;
+        duration_ms = result.Replsim.elapsed_ms;
+      }
+
+let description cluster =
+  let cfg = Replsim.config cluster in
+  Printf.sprintf "replsim n=%d rounds=%d (consensus recovery under churn)"
+    cfg.Replsim.n cfg.Replsim.rounds
+
+let commit_loss cluster fault =
+  match rfault_of_fault fault with
+  | Error _ -> 0.0
+  | Ok rf ->
+      let base = float_of_int (Replsim.baseline cluster).Replsim.commits in
+      if base <= 0.0 then 0.0
+      else
+        let injected =
+          float_of_int (Replsim.run cluster ~faults:[ rf ]).Replsim.commits
+        in
+        Float.max 0.0 (100.0 *. (base -. injected) /. base)
+
+let commit_loss_sensor cluster =
+  {
+    Sensor.name = "commit-loss";
+    score =
+      (fun { Sensor.outcome; new_blocks } ->
+        commit_loss cluster outcome.Outcome.fault +. float_of_int new_blocks);
+  }
+
+(* --- churn-schedule seeding ------------------------------------------- *)
+
+let kind_index k =
+  let rec go i = function
+    | [] -> 0
+    | k' :: rest -> if k' = k then i else go (i + 1) rest
+  in
+  go 0 Replsim.all_kinds
+
+let seed_points ?(arms = 2) ?(max_seeds = 400) cluster =
+  (* §4 seeding, adapted: for callsite targets the static analyzer flags
+     suspect error-handling sites; here the statically observable
+     structure is the churn schedule (when each replica's recovery
+     window opens) and the fault-free leader trace. Each scheduled
+     recovery yields candidate correlated scenarios — corrupt the
+     replica's backup ahead of its window and kill the leader inside it,
+     or sever the catch-up stream and kill the recovering replica — that
+     the guided search evaluates first and then refines by mutation.
+     Random search gets no such head start, which is the comparison the
+     bench draws. *)
+  if arms < 1 then invalid_arg "Replfault.seed_points: arms < 1";
+  if max_seeds < 0 then invalid_arg "Replfault.seed_points: max_seeds < 0";
+  let cfg = Replsim.config cluster in
+  let trace = (Replsim.baseline cluster).Replsim.leader_trace in
+  (* Leader in place when round [t] starts (phase order: faults land
+     before that round's churn and election). *)
+  let leader_entering t =
+    if t >= 1 && t < Array.length trace then trace.(t - 1) else -1
+  in
+  let coords (rf : Replsim.fault) =
+    [
+      rf.Replsim.round;
+      rf.Replsim.replica;
+      kind_index rf.Replsim.kind;
+      rf.Replsim.peer;
+    ]
+  in
+  let rec take n = function
+    | _ when n = 0 -> []
+    | [] -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let pad rfs =
+    (* Fit the compound width: drop surplus arms, repeat the last to fill
+       (an exact duplicate fault adds nothing). *)
+    let rfs = take arms rfs in
+    let last = List.nth rfs (List.length rfs - 1) in
+    rfs @ List.init (arms - List.length rfs) (fun _ -> last)
+  in
+  let candidates =
+    List.concat_map
+      (fun (t_c, r) ->
+        let t_stale = t_c - (2 * cfg.Replsim.backup_period) in
+        List.concat_map
+          (fun dt ->
+            let t_k = t_c + dt in
+            if
+              t_stale < 1 || t_k >= cfg.Replsim.rounds
+              || dt > cfg.Replsim.recovery_rounds
+              || dt >= cfg.Replsim.drop_window
+            then []
+            else
+              let l = leader_entering t_k in
+              if l < 0 || l = r || leader_entering (t_c + 1) <> l then []
+              else
+                [
+                  [
+                    {
+                      Replsim.round = t_stale;
+                      replica = r;
+                      kind = Replsim.Stale_backup;
+                      peer = 0;
+                    };
+                    { Replsim.round = t_k; replica = l; kind = Replsim.Kill; peer = 0 };
+                  ];
+                  [
+                    {
+                      Replsim.round = t_c + 1;
+                      replica = r;
+                      kind = Replsim.Drop_acks;
+                      peer = l;
+                    };
+                    { Replsim.round = t_k; replica = r; kind = Replsim.Kill; peer = 0 };
+                  ];
+                ])
+          [ 2; 4 ])
+      (Replsim.churn_schedule cluster)
+  in
+  let candidates =
+    if arms = 1 then
+      (* A single-arm space can only carry one fault: seed the windows'
+         atomic ingredients instead (they cover the partial-condition
+         blocks that grade the search). *)
+      List.concat_map (fun rfs -> List.map (fun rf -> [ rf ]) rfs) candidates
+    else candidates
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] and count = ref 0 in
+  List.iter
+    (fun rfs ->
+      if !count < max_seeds then begin
+        let p = Afex_faultspace.Point.of_list (List.concat_map coords (pad rfs)) in
+        let key = Afex_faultspace.Point.key p in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := p :: !out;
+          incr count
+        end
+      end)
+    candidates;
+  List.rev !out
+
+let deep_outcome (o : Outcome.t) =
+  match o.Outcome.crash_stack with
+  | None -> false
+  | Some frames ->
+      List.exists
+        (fun inv -> List.mem ("invariant:" ^ inv) frames)
+        Replsim.deep_invariants

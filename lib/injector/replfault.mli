@@ -1,0 +1,85 @@
+(** Injector adapter for the replicated-consensus target
+    ({!Afex_simtarget.Replsim}): fault spaces over
+    ⟨round, replica, kind, peer⟩ coordinates, scenario and {!Fault.t}
+    codecs, and an {!Afex.Executor}-shaped entry point.
+
+    A single-arm space explores atomic faults (kill, ack drop, stale
+    backup, delayed rejoin); the compound space arms several at once so
+    the search can express correlated scenarios like "kill replica i
+    during its recovery while the network drops acks from replica j" —
+    the §6 multi-fault shape that reaches the planted deep bugs. *)
+
+module Replsim = Afex_simtarget.Replsim
+
+val kind_symbols : string list
+(** Axis order of the [kind] symbols; matches {!Replsim.all_kinds}. *)
+
+val space : Replsim.cluster -> Afex_faultspace.Subspace.t
+(** [round : \[0, rounds-1\]] x [replica : \[0, n-1\]] x [kind] x
+    [peer : \[0, n-1\]]. *)
+
+val multi_space : ?arms:int -> Replsim.cluster -> Afex_faultspace.Subspace.t
+(** [arms] (default 2) suffixed ⟨round, replica, kind, peer⟩ groups
+    ([round2], [replica2], ... for the second arm), in the same suffix
+    idiom as {!Afex_simtarget.Spaces.multi}.
+    @raise Invalid_argument on [arms < 1]. *)
+
+val fault_of_rfault : Replsim.fault -> Fault.t
+(** Embedding into the generic fault record (for outcomes, exports and
+    clustering): [test_id] carries the replica, [call_number] the round,
+    [retval] the peer, [func] is ["repl_<kind>"]. *)
+
+val rfault_of_fault : Fault.t -> (Replsim.fault, string) result
+(** Inverse of {!fault_of_rfault}. *)
+
+val scenario_of_faults : Replsim.fault list -> Afex_faultspace.Scenario.t
+(** One ⟨round, replica, kind, peer⟩ binding group per arm, later arms
+    suffixed. *)
+
+val faults_of_scenario :
+  Afex_faultspace.Scenario.t -> (Replsim.fault list, string) result
+(** Parses one or more arm groups; a group starts at each [round]
+    binding (suffixed attribute names from compound spaces are
+    accepted). Errors on an empty scenario, an attribute before any
+    [round], a group missing its [kind], or an unknown kind symbol. *)
+
+val run_scenario : Replsim.cluster -> Afex_faultspace.Scenario.t -> Outcome.t
+(** Decode, simulate, and map the result: a safety-invariant violation
+    is a [Crashed] outcome whose crash stack is the violation's stable
+    synthetic site; a liveness violation is [Hung]; a fault-free-of-
+    violations run that still lost commits against the baseline is
+    [Test_failed]; anything else passes. The outcome's fault is the
+    latest arm activated at or before the violation round (the "second
+    fault" of a correlated scenario). Wrap it with
+    [Afex.Executor.of_scenario_fn ~total_blocks:(Replsim.total_blocks c)]
+    to drive the explorer (this library sits below [Afex], so the
+    executor itself is built at the call site, as for {!Netfault}).
+    @raise Invalid_argument on an undecodable scenario. *)
+
+val description : Replsim.cluster -> string
+(** One-line executor description ("replsim n=... rounds=..."). *)
+
+val commit_loss : Replsim.cluster -> Fault.t -> float
+(** Percentage of baseline commits lost under the single decoded fault
+    (0 for a fault that does not decode); deterministic re-run, usable
+    as a domain sensor like {!Netfault.throughput_loss}. *)
+
+val commit_loss_sensor : Replsim.cluster -> Sensor.t
+
+val seed_points :
+  ?arms:int -> ?max_seeds:int -> Replsim.cluster -> Afex_faultspace.Point.t list
+(** Initial search seeds derived from the statically observable cluster
+    structure — the churn schedule and the fault-free leader trace —
+    the §4 seeding idea transposed from flagged callsites to scheduled
+    recovery windows. Each window yields candidate correlated scenarios
+    (backup corruption ahead of the window plus a leader kill inside it;
+    a severed catch-up stream plus a mid-recovery kill) as points in the
+    [arms]-wide compound space (default 2, matching {!multi_space};
+    [arms = 1] seeds the atomic ingredients instead). At most
+    [max_seeds] (default 400) deduplicated points, chronological. Feed
+    them to {!Afex.Config.t}[.initial_seeds].
+    @raise Invalid_argument on [arms < 1] or [max_seeds < 0]. *)
+
+val deep_outcome : Outcome.t -> bool
+(** The outcome is one of the planted correlated-fault bugs (its crash
+    stack is a {!Replsim.deep_invariants} site). *)

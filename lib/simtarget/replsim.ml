@@ -1,0 +1,519 @@
+module Rng = Afex_stats.Rng
+module Bitset = Afex_stats.Bitset
+
+type kind = Kill | Drop_acks | Stale_backup | Delayed_rejoin
+
+let kind_to_string = function
+  | Kill -> "kill"
+  | Drop_acks -> "drop_acks"
+  | Stale_backup -> "stale_backup"
+  | Delayed_rejoin -> "delayed_rejoin"
+
+let kind_of_string = function
+  | "kill" -> Ok Kill
+  | "drop_acks" -> Ok Drop_acks
+  | "stale_backup" -> Ok Stale_backup
+  | "delayed_rejoin" -> Ok Delayed_rejoin
+  | s -> Error (Printf.sprintf "unknown fault kind %S" s)
+
+let all_kinds = [ Kill; Drop_acks; Stale_backup; Delayed_rejoin ]
+
+type fault = { round : int; replica : int; kind : kind; peer : int }
+
+type config = {
+  n : int;
+  rounds : int;
+  seed : int;
+  churn_period : int;
+  recovery_rounds : int;
+  backup_period : int;
+  drop_window : int;
+  liveness_k : int;
+  round_ms : float;
+}
+
+type violation = {
+  invariant : string;
+  v_round : int;
+  v_replica : int;
+  site : string list;
+}
+
+type run_result = {
+  rounds_run : int;
+  commits : int;
+  elections : int;
+  recoveries : int;
+  violation : violation option;
+  coverage : Bitset.t;
+  triggered : bool;
+  leader_trace : int array;
+  elapsed_ms : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Coverage block layout: a fixed-width strip per replica.             *)
+(* ------------------------------------------------------------------ *)
+
+let b_follower_ack = 0
+let b_leader = 1
+let b_recovery_start = 2
+let b_recovery_done = 3
+let b_recovery_overlap = 4 (* an injected fault landed inside this replica's window *)
+let b_kill_mid_recovery = 5
+let b_stale_backup_used = 6
+let b_catchup_blocked = 7
+let b_election_during_recovery = 8
+let b_acks_dropped = 9
+let b_delayed_rejoin = 10
+let b_violation = 11
+let blocks_per_replica = 12
+
+(* ------------------------------------------------------------------ *)
+(* Violation sites: synthetic stacks, stable per site. No round or     *)
+(* replica numbers — redundancy clustering must see one site as one    *)
+(* stack, exactly like a real crash deduplicated by its backtrace.     *)
+(* ------------------------------------------------------------------ *)
+
+let site_stale_revote =
+  [
+    "recovery@replsim/election.c:88";
+    "replsim:request_vote";
+    "replsim:recover_rejoin";
+    "invariant:leader-uniqueness";
+  ]
+
+let site_recovery_crash =
+  [
+    "recovery@replsim/catchup.c:214";
+    "replsim:catchup_abort";
+    "replsim:recover_rejoin";
+    "invariant:recovery-crash";
+  ]
+
+let site_prefix =
+  [ "replsim/log.c:132"; "replsim:commit_apply"; "invariant:log-prefix-agreement" ]
+
+let site_durability =
+  [ "replsim/election.c:156"; "replsim:install_leader"; "invariant:committed-durability" ]
+
+let site_liveness = [ "replsim/progress.c:40"; "replsim:tick"; "invariant:liveness" ]
+
+let deep_invariants = [ "leader-uniqueness"; "recovery-crash" ]
+let is_deep v = List.mem v.invariant deep_invariants
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s at round %d (replica %d)" v.invariant v.v_round v.v_replica
+
+(* ------------------------------------------------------------------ *)
+(* The simulation proper                                               *)
+(* ------------------------------------------------------------------ *)
+
+type role = Follower | Leader | Recovering | Down
+
+type replica = {
+  id : int;
+  mutable role : role;
+  mutable term : int;
+  log : int array; (* term of each entry; length rounds is an upper bound *)
+  mutable log_len : int;
+  mutable commit : int;
+  mutable backup_len : int;
+  mutable backup_term : int;
+  mutable backup_commit : int;
+  mutable backup_frozen : bool;
+  mutable frozen_by_fault : bool;
+  mutable recover_left : int;
+  mutable stale_fault : bool; (* recovering from a fault-stale backup *)
+  mutable killed_mid : bool; (* a Kill fault restarted this recovery *)
+  mutable pending_delay : int;
+}
+
+exception Stop of violation
+
+let simulate config churn ~faults =
+  let n = config.n in
+  let majority = (n / 2) + 1 in
+  let reps =
+    Array.init n (fun id ->
+        {
+          id;
+          role = Follower;
+          term = 0;
+          log = Array.make config.rounds 0;
+          log_len = 0;
+          commit = 0;
+          backup_len = 0;
+          backup_term = 0;
+          backup_commit = 0;
+          backup_frozen = false;
+          frozen_by_fault = false;
+          recover_left = 0;
+          stale_fault = false;
+          killed_mid = false;
+          pending_delay = 0;
+        })
+  in
+  let faults = List.stable_sort (fun a b -> compare a.round b.round) faults in
+  let coverage = Bitset.create (n * blocks_per_replica) in
+  let cover r b = Bitset.set coverage ((r * blocks_per_replica) + b) in
+  let leader = ref None in
+  let leader_killed_by_fault = ref false in
+  let ledger = Array.make config.rounds 0 in
+  let ledger_len = ref 0 in
+  let commits = ref 0 in
+  let elections = ref 0 in
+  let recoveries = ref 0 in
+  let last_commit_round = ref 0 in
+  let triggered = ref false in
+  let leader_trace = Array.make config.rounds (-1) in
+  let rounds_run = ref 0 in
+  (* Directional message loss: an active Drop_acks fault severs every
+     message from [peer] to [replica] for [drop_window] rounds. *)
+  let dropped ~from ~to_ t =
+    List.exists
+      (fun f ->
+        f.kind = Drop_acks && f.peer = from && f.replica = to_ && f.round <= t
+        && t < f.round + config.drop_window)
+      faults
+  in
+  (* Partial-credit block: any activated fault that lands while some
+     replica is inside its recovery window covers that replica's overlap
+     block — the gradient toward "second fault inside the window". *)
+  let mark_overlap () =
+    Array.iter (fun r -> if r.role = Recovering then cover r.id b_recovery_overlap) reps
+  in
+  let violate invariant site r t =
+    cover r b_violation;
+    raise (Stop { invariant; v_round = t; v_replica = r; site })
+  in
+  let run_round t =
+    (* 1. Injected faults scheduled for this round. *)
+    List.iter
+      (fun f ->
+        if f.round = t then
+          match f.kind with
+          | Kill -> (
+              let r = reps.(f.replica) in
+              match r.role with
+              | Down -> ()
+              | Recovering ->
+                  triggered := true;
+                  mark_overlap ();
+                  cover r.id b_kill_mid_recovery;
+                  (match !leader with
+                  | Some l when dropped ~from:l ~to_:r.id t ->
+                      (* Planted deep bug 2: the catch-up stream is severed
+                         and the recovering process is killed on top — the
+                         recovery state machine aborts instead of
+                         restarting. Needs Drop_acks(leader -> r) + Kill(r)
+                         correlated inside one recovery window. *)
+                      violate "recovery-crash" site_recovery_crash r.id t
+                  | _ ->
+                      r.role <- Down;
+                      r.killed_mid <- true)
+              | Leader ->
+                  triggered := true;
+                  mark_overlap ();
+                  r.role <- Down;
+                  leader := None;
+                  leader_killed_by_fault := true
+              | Follower ->
+                  triggered := true;
+                  mark_overlap ();
+                  r.role <- Down)
+          | Drop_acks ->
+              (* Activation is implicit via [dropped]; effects (and the
+                 [triggered] flag) are recorded where a message is lost. *)
+              if f.peer <> f.replica then mark_overlap ()
+          | Stale_backup ->
+              let r = reps.(f.replica) in
+              if not r.backup_frozen then begin
+                r.backup_frozen <- true;
+                r.frozen_by_fault <- true
+              end
+          | Delayed_rejoin ->
+              let r = reps.(f.replica) in
+              if r.role = Recovering then begin
+                triggered := true;
+                mark_overlap ();
+                r.recover_left <- r.recover_left + config.recovery_rounds;
+                cover r.id b_delayed_rejoin
+              end
+              else r.pending_delay <- r.pending_delay + config.recovery_rounds)
+      faults;
+    (* 2. Scheduled churn: a live replica goes down for recovery. *)
+    (match churn.(t) with
+    | Some c -> (
+        let r = reps.(c) in
+        match r.role with
+        | Leader ->
+            r.role <- Down;
+            leader := None
+        | Follower -> r.role <- Down
+        | Recovering | Down -> ())
+    | None -> ());
+    (* 3. Recovery: reload the backup, sit out the window, catch up. *)
+    Array.iter
+      (fun r ->
+        match r.role with
+        | Down ->
+            r.role <- Recovering;
+            r.recover_left <- config.recovery_rounds + r.pending_delay;
+            if r.pending_delay > 0 then begin
+              triggered := true;
+              cover r.id b_delayed_rejoin
+            end;
+            r.pending_delay <- 0;
+            r.log_len <- r.backup_len;
+            r.term <- r.backup_term;
+            r.commit <- r.backup_commit;
+            incr recoveries;
+            cover r.id b_recovery_start;
+            let stale = r.backup_commit + config.backup_period < !ledger_len in
+            r.stale_fault <- stale && (r.frozen_by_fault || r.killed_mid);
+            if stale && (r.frozen_by_fault || r.killed_mid) then begin
+              cover r.id b_stale_backup_used;
+              if r.frozen_by_fault then triggered := true
+            end;
+            r.killed_mid <- false
+        | Recovering ->
+            if r.recover_left > 0 then r.recover_left <- r.recover_left - 1
+            else begin
+              match !leader with
+              | Some l when l <> r.id ->
+                  if dropped ~from:l ~to_:r.id t then begin
+                    triggered := true;
+                    cover r.id b_catchup_blocked
+                  end
+                  else begin
+                    let ldr = reps.(l) in
+                    Array.blit ldr.log 0 r.log 0 ldr.log_len;
+                    r.log_len <- ldr.log_len;
+                    r.term <- ldr.term;
+                    r.commit <- ldr.commit;
+                    r.role <- Follower;
+                    r.stale_fault <- false;
+                    cover r.id b_recovery_done
+                  end
+              | Some _ | None -> ()
+            end
+        | Leader | Follower -> ())
+      reps;
+    (* 4. Election, when the cluster has no leader and a quorum of
+       settled followers can vote. *)
+    if !leader = None then begin
+      let voters = ref [] in
+      Array.iter (fun r -> if r.role = Follower then voters := r :: !voters) reps;
+      let voters = !voters in
+      if List.length voters >= majority then begin
+        let winner =
+          List.fold_left
+            (fun best r ->
+              if
+                r.log_len > best.log_len
+                || (r.log_len = best.log_len && r.id < best.id)
+              then r
+              else best)
+            (List.hd voters) voters
+        in
+        let new_term = 1 + Array.fold_left (fun acc r -> max acc r.term) 0 reps in
+        List.iter (fun v -> v.term <- new_term) voters;
+        winner.term <- new_term;
+        winner.role <- Leader;
+        leader := Some winner.id;
+        incr elections;
+        cover winner.id b_leader;
+        (* Committed-entry durability: the new leader's log must contain
+           every entry ever acknowledged to a client. *)
+        for i = 0 to !ledger_len - 1 do
+          if i >= winner.log_len || winner.log.(i) <> ledger.(i) then
+            violate "committed-durability" site_durability winner.id t
+        done;
+        Array.iter
+          (fun r ->
+            if r.role = Recovering then begin
+              cover r.id b_election_during_recovery;
+              (* Planted deep bug 1: a replica mid-recovery from a
+                 fault-stale backup re-enters the vote protocol when the
+                 leader it was restoring against is killed inside its
+                 window — it announces leadership with its stale term,
+                 and the cluster briefly has two leaders. Needs
+                 Stale_backup(r) (or a mid-recovery Kill) + Kill(leader)
+                 correlated inside one recovery window. *)
+              if r.stale_fault && !leader_killed_by_fault then
+                violate "leader-uniqueness" site_stale_revote r.id t
+            end)
+          reps;
+        leader_killed_by_fault := false
+      end
+    end;
+    (* 5. Replication: the leader appends one client command per round
+       and commits once a majority acknowledges. *)
+    (match !leader with
+    | Some l ->
+        let ldr = reps.(l) in
+        ldr.log.(ldr.log_len) <- ldr.term;
+        ldr.log_len <- ldr.log_len + 1;
+        let acks = ref 1 in
+        let ackers = ref [] in
+        Array.iter
+          (fun f ->
+            if f.id <> l && f.role = Follower then
+              if dropped ~from:l ~to_:f.id t then begin
+                triggered := true;
+                cover f.id b_acks_dropped
+              end
+              else begin
+                (* AppendEntries consistency: overwrite the follower's
+                   uncommitted tail with the leader's (the committed
+                   prefix is immutable, so syncing from the older commit
+                   point is enough and O(tail)). *)
+                let from_ = min f.commit ldr.commit in
+                if ldr.log_len > from_ then
+                  Array.blit ldr.log from_ f.log from_ (ldr.log_len - from_);
+                f.log_len <- ldr.log_len;
+                f.term <- ldr.term;
+                if dropped ~from:f.id ~to_:l t then begin
+                  triggered := true;
+                  cover f.id b_acks_dropped
+                end
+                else begin
+                  incr acks;
+                  ackers := f :: !ackers;
+                  cover f.id b_follower_ack
+                end
+              end)
+          reps;
+        if !acks >= majority then begin
+          for i = ldr.commit to ldr.log_len - 1 do
+            if i < !ledger_len then begin
+              (* Log-prefix agreement: a committed slot may never be
+                 re-committed with a different term. *)
+              if ledger.(i) <> ldr.log.(i) then
+                violate "log-prefix-agreement" site_prefix ldr.id t
+            end
+            else begin
+              ledger.(i) <- ldr.log.(i);
+              incr ledger_len
+            end
+          done;
+          commits := !commits + (ldr.log_len - ldr.commit);
+          ldr.commit <- ldr.log_len;
+          last_commit_round := t;
+          List.iter (fun f -> f.commit <- min f.log_len ldr.commit) !ackers
+        end;
+        cover l b_leader
+    | None -> ());
+    (* 6. Backup snapshots: live replicas persist their committed prefix
+       at the configured cadence, unless a fault froze the backup. *)
+    if t mod config.backup_period = config.backup_period - 1 then
+      Array.iter
+        (fun r ->
+          match r.role with
+          | (Follower | Leader) when not r.backup_frozen ->
+              r.backup_len <- r.commit;
+              r.backup_term <- r.term;
+              r.backup_commit <- r.commit
+          | Follower | Leader | Recovering | Down -> ())
+        reps;
+    (* 7. Liveness within k rounds. *)
+    if t - !last_commit_round > config.liveness_k then begin
+      let culprit = match !leader with Some l -> l | None -> 0 in
+      violate "liveness" site_liveness culprit t
+    end;
+    leader_trace.(t) <- (match !leader with Some l -> l | None -> -1)
+  in
+  let violation = ref None in
+  (try
+     for t = 0 to config.rounds - 1 do
+       rounds_run := t + 1;
+       run_round t
+     done
+   with Stop v -> violation := Some v);
+  {
+    rounds_run = !rounds_run;
+    commits = !commits;
+    elections = !elections;
+    recoveries = !recoveries;
+    violation = !violation;
+    coverage;
+    triggered = !triggered;
+    leader_trace;
+    elapsed_ms = float_of_int !rounds_run *. config.round_ms;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cluster construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cluster = {
+  config : config;
+  churn : int option array;
+  baseline_result : run_result;
+}
+
+let make ?(rounds = 400) ?(seed = 42) ?(churn_period = 7) ?(recovery_rounds = 5)
+    ?(backup_period = 8) ?(drop_window = 6) ?(liveness_k = 30) ?(round_ms = 0.05)
+    ~n () =
+  if n < 3 then invalid_arg "Replsim.make: need at least 3 replicas";
+  if rounds < 1 then invalid_arg "Replsim.make: rounds < 1";
+  if churn_period < 1 || backup_period < 1 || recovery_rounds < 1 || drop_window < 1
+  then invalid_arg "Replsim.make: periods must be positive";
+  if liveness_k < 1 then invalid_arg "Replsim.make: liveness_k < 1";
+  if recovery_rounds >= 2 * churn_period then
+    invalid_arg
+      "Replsim.make: recovery_rounds >= 2 * churn_period starves the quorum \
+       under baseline churn";
+  let config =
+    {
+      n;
+      rounds;
+      seed;
+      churn_period;
+      recovery_rounds;
+      backup_period;
+      drop_window;
+      liveness_k;
+      round_ms;
+    }
+  in
+  let churn = Array.make rounds None in
+  let rng = Rng.create seed in
+  for t = 0 to rounds - 1 do
+    if t > 0 && t mod churn_period = 0 then churn.(t) <- Some (Rng.int rng n)
+  done;
+  let baseline_result = simulate config churn ~faults:[] in
+  { config; churn; baseline_result }
+
+let config t = t.config
+let baseline t = t.baseline_result
+
+let churn_schedule t =
+  let events = ref [] in
+  Array.iteri
+    (fun round c -> match c with Some r -> events := (round, r) :: !events | None -> ())
+    t.churn;
+  List.rev !events
+
+let total_blocks t = t.config.n * blocks_per_replica
+
+let run t ~faults =
+  List.iter
+    (fun f ->
+      if f.round < 0 || f.round >= t.config.rounds then
+        invalid_arg (Printf.sprintf "Replsim.run: round %d out of range" f.round);
+      if f.replica < 0 || f.replica >= t.config.n then
+        invalid_arg (Printf.sprintf "Replsim.run: replica %d out of range" f.replica);
+      if f.peer < 0 || f.peer >= t.config.n then
+        invalid_arg (Printf.sprintf "Replsim.run: peer %d out of range" f.peer))
+    faults;
+  simulate t.config t.churn ~faults
+
+let pp_summary ppf t =
+  let b = t.baseline_result in
+  Format.fprintf ppf
+    "replsim: %d replicas, %d rounds (churn every %d) — baseline %d commits, %d \
+     elections, %d recoveries"
+    t.config.n t.config.rounds t.config.churn_period b.commits b.elections
+    b.recoveries

@@ -624,6 +624,105 @@ let test_burst_search_end_to_end () =
   checki "budget consumed" 300 r.Session.iterations;
   checkb "finds damaging bursts" true (r.Session.failed > 0)
 
+(* --- Netfault codec round-trip properties (Prop harness) --- *)
+
+let arb_drop =
+  Prop.map
+    ~show:(fun (d : Netsim.drop) ->
+      Printf.sprintf "drop{w=%d;c=%d;p=%d}" d.Netsim.workload d.Netsim.connection
+        d.Netsim.packet)
+    (fun ((w, c), p) -> { Netsim.workload = w; connection = c; packet = p })
+    (Prop.pair
+       (Prop.pair
+          (Prop.int_range 0 (Array.length server.Netsim.workloads - 1))
+          (Prop.int_range 0 (Netsim.max_connections server - 1)))
+       (Prop.int_range 0 (Netsim.max_packets server - 1)))
+
+let arb_burst =
+  let pmax = Netsim.max_packets server - 1 in
+  Prop.map
+    ~show:(fun (b : Netsim.burst) ->
+      let lo, hi = b.Netsim.window in
+      Printf.sprintf "burst{w=%d;c=%d;window=[%d,%d]}" b.Netsim.b_workload
+        b.Netsim.b_connection lo hi)
+    (fun ((w, c), (a, b)) ->
+      { Netsim.b_workload = w; b_connection = c; window = (min a b, max a b) })
+    (Prop.pair
+       (Prop.pair
+          (Prop.int_range 0 (Array.length server.Netsim.workloads - 1))
+          (Prop.int_range 0 (Netsim.max_connections server - 1)))
+       (Prop.pair (Prop.int_range 0 pmax) (Prop.int_range 0 pmax)))
+
+(* Binding order in a scenario is not significant; exercise a few. *)
+let drop_scenario ~order (d : Netsim.drop) =
+  let b =
+    [
+      ("testId", Afex_faultspace.Value.Int d.Netsim.workload);
+      ("connection", Afex_faultspace.Value.Int d.Netsim.connection);
+      ("packet", Afex_faultspace.Value.Int d.Netsim.packet);
+    ]
+  in
+  match (order, b) with
+  | 1, _ -> List.rev b
+  | 2, [ t; c; p ] -> [ c; p; t ]
+  | _ -> b
+
+let burst_scenario (b : Netsim.burst) =
+  let lo, hi = b.Netsim.window in
+  [
+    ("testId", Afex_faultspace.Value.Int b.Netsim.b_workload);
+    ("connection", Afex_faultspace.Value.Int b.Netsim.b_connection);
+    ("window", Afex_faultspace.Value.Pair (lo, hi));
+  ]
+
+let test_prop_drop_scenario_roundtrip () =
+  Prop.check ~count:200 "drop_of_scenario inverts the binding encoding"
+    (Prop.pair arb_drop (Prop.int_range 0 2))
+    (fun (drop, order) ->
+      Netfault.drop_of_scenario (drop_scenario ~order drop) = Ok drop)
+
+let test_prop_drop_fault_roundtrip () =
+  Prop.check ~count:60 "drop_of_fault inverts the outcome fault encoding" arb_drop
+    (fun drop ->
+      let o = Netfault.run_scenario server (drop_scenario ~order:0 drop) in
+      Netfault.drop_of_fault o.Afex_injector.Outcome.fault = drop)
+
+let test_prop_burst_scenario_roundtrip () =
+  Prop.check ~count:200 "burst_of_scenario inverts the binding encoding" arb_burst
+    (fun burst -> Netfault.burst_of_scenario (burst_scenario burst) = Ok burst)
+
+let test_prop_burst_fault_roundtrip () =
+  Prop.check ~count:60 "burst_of_fault inverts the outcome fault encoding" arb_burst
+    (fun burst ->
+      let o = Netfault.run_burst_scenario server (burst_scenario burst) in
+      Netfault.burst_of_fault o.Afex_injector.Outcome.fault = Ok burst)
+
+let test_prop_codec_namespaces_disjoint () =
+  (* The inverse mismatch this property surfaced: bursts share the field
+     layout (test_id, retval, call_number = window lo), so [drop_of_fault]
+     used to silently fabricate a single-packet drop from a burst fault —
+     and [throughput_loss] scored that fabricated drop. Both must reject
+     the foreign encoding instead. *)
+  Prop.check ~count:40 "burst faults do not decode as drops (and vice versa)"
+    (Prop.pair arb_drop arb_burst)
+    (fun (drop, burst) ->
+      let drop_fault =
+        (Netfault.run_scenario server (drop_scenario ~order:0 drop))
+          .Afex_injector.Outcome.fault
+      in
+      let burst_fault =
+        (Netfault.run_burst_scenario server (burst_scenario burst))
+          .Afex_injector.Outcome.fault
+      in
+      let drop_rejected =
+        match Netfault.drop_of_fault burst_fault with
+        | exception Invalid_argument _ -> true
+        | _ -> false
+      in
+      drop_rejected
+      && Result.is_error (Netfault.burst_of_fault drop_fault)
+      && Netfault.throughput_loss server burst_fault = 0.0)
+
 (* --- Time-budget stop criterion --- *)
 
 let test_time_budget_stops_session () =
@@ -682,5 +781,10 @@ let suite =
       ("burst exhausts retry budget", test_burst_exhausts_retry_budget);
       ("burst fault encoding roundtrip", test_burst_fault_encoding_roundtrip);
       ("burst search end-to-end", test_burst_search_end_to_end);
+      ("prop drop scenario roundtrip", test_prop_drop_scenario_roundtrip);
+      ("prop drop fault roundtrip", test_prop_drop_fault_roundtrip);
+      ("prop burst scenario roundtrip", test_prop_burst_scenario_roundtrip);
+      ("prop burst fault roundtrip", test_prop_burst_fault_roundtrip);
+      ("prop codec namespaces disjoint", test_prop_codec_namespaces_disjoint);
       ("time budget stops session", test_time_budget_stops_session);
     ]

@@ -320,6 +320,75 @@ let test_multifault_suffixed_scenario () =
         (List.nth mf.Multifault.arms 1).Multifault.func
   | Error e -> Alcotest.fail e
 
+let test_multifault_of_scenario_errors () =
+  let open Afex_faultspace in
+  let err scenario =
+    match Multifault.of_scenario scenario with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "undecodable scenario accepted"
+  in
+  (* Per-arm attributes before any "function" binding opened a group. *)
+  checks "dangling callNumber" "callNumber before any function"
+    (err [ ("testId", Value.Int 0); ("callNumber", Value.Int 1) ]);
+  checks "dangling suffixed callNumber" "callNumber2 before any function"
+    (err [ ("testId", Value.Int 0); ("callNumber2", Value.Int 1) ]);
+  checks "dangling errno" "errno before any function"
+    (err [ ("testId", Value.Int 0); ("errno", Value.Sym "EIO") ]);
+  checks "dangling retval" "retval before any function"
+    (err [ ("testId", Value.Int 0); ("retval", Value.Int (-1)) ]);
+  (* Structurally empty scenarios. *)
+  checks "missing testId" "missing testId"
+    (err [ ("function", Value.Sym "read"); ("callNumber", Value.Int 1) ]);
+  checks "empty arm list" "no fault arms" (err [ ("testId", Value.Int 0) ]);
+  checks "empty scenario" "missing testId" (err []);
+  (* Unknown names, and known names carrying the wrong value shape, both
+     fall through to the same rejection. *)
+  checks "unknown attribute" "unexpected attribute bogus"
+    (err
+       [
+         ("testId", Value.Int 0);
+         ("function", Value.Sym "read");
+         ("bogus", Value.Sym "x");
+       ]);
+  checks "ill-typed callNumber" "unexpected attribute callNumber"
+    (err
+       [
+         ("testId", Value.Int 0);
+         ("function", Value.Sym "read");
+         ("callNumber", Value.Sym "one");
+       ]);
+  checks "ill-typed function" "unexpected attribute function"
+    (err [ ("testId", Value.Int 0); ("function", Value.Int 3) ]);
+  (* The error reported is the first one encountered, even when a valid
+     arm follows. *)
+  checks "first error wins" "errno before any function"
+    (err
+       [
+         ("testId", Value.Int 0);
+         ("errno", Value.Sym "EIO");
+         ("function", Value.Sym "read");
+       ])
+
+let test_multifault_of_faults_errors () =
+  let f1 = Fault.make ~test_id:1 ~func:"read" ~call_number:1 () in
+  let f3 = Fault.make ~test_id:2 ~func:"close" ~call_number:1 () in
+  (match Multifault.of_faults [] with
+  | Error e -> checks "empty message" "empty fault list" e
+  | Ok _ -> Alcotest.fail "empty fault list accepted");
+  (match Multifault.of_faults [ f1; f3 ] with
+  | Error e -> checks "mixed message" "multi-fault scenario spans several tests" e
+  | Ok _ -> Alcotest.fail "mixed test ids accepted");
+  (* Mixed ids are rejected wherever the intruder sits. *)
+  checkb "mixed ids rejected in any position" true
+    (Result.is_error (Multifault.of_faults [ f1; f1; f3 ])
+    && Result.is_error (Multifault.of_faults [ f3; f1; f1 ]));
+  (* A single fault is a valid (degenerate) multi-fault scenario. *)
+  match Multifault.of_faults [ f1 ] with
+  | Ok mf ->
+      checki "one arm" 1 (List.length mf.Multifault.arms);
+      checkb "round-trips" true (Multifault.to_faults mf = [ f1 ])
+  | Error e -> Alcotest.fail e
+
 let test_multifault_single_probe_misses_latent () =
   (* Each single fault alone: read handled, write handled (not recovering),
      close fails cleanly — no crash anywhere. *)
@@ -437,6 +506,8 @@ let suite =
       ("multifault scenario roundtrip", test_multifault_scenario_roundtrip);
       ("multifault of_faults", test_multifault_of_faults);
       ("multifault suffixed scenario", test_multifault_suffixed_scenario);
+      ("multifault of_scenario error paths", test_multifault_of_scenario_errors);
+      ("multifault of_faults error paths", test_multifault_of_faults_errors);
       ("multifault: single probes miss latent bug", test_multifault_single_probe_misses_latent);
       ("multifault: compound triggers latent bug", test_multifault_compound_triggers_latent);
       ("multifault: order matters", test_multifault_order_matters);

@@ -18,6 +18,7 @@ let () =
       ("checkpoint", Test_checkpoint.suite);
       ("report", Test_report.suite);
       ("extensions", Test_extensions.suite);
+      ("replsim", Test_replsim.suite);
       ("misc", Test_misc.suite);
       ("integration", Test_integration.suite);
     ]
