@@ -24,6 +24,7 @@ let experiments ~smoke =
     ("ablation", fun () -> Experiments.ablation ());
     ("multifault", fun () -> Experiments.multifault ());
     ("seeding", fun () -> Experiments.seeding ());
+    ("rarity", fun () -> Experiments.rarity ~smoke ());
     ("perf", fun () -> Experiments.perf ());
     ("micro", fun () -> Micro.run ());
   ]

@@ -168,7 +168,14 @@ let targets_cmd =
         let t = target () in
         Format.printf "%-12s %a@.             fault space: %d faults@." name
           Target.pp_summary t
-          (Afex_faultspace.Subspace.cardinality (space ())))
+          (Afex_faultspace.Subspace.cardinality (space ()));
+        let total = Target.total_blocks t
+        and recovery = Target.recovery_blocks_total t in
+        if total > 0 then
+          Format.printf
+            "             rarity: %.1f%% recovery-only blocks — the rare \
+             frontier `explore --rarity` rewards@."
+            (100.0 *. float_of_int recovery /. float_of_int total))
       targets_registry;
     let c = Replsim.make ~n:9 () in
     Format.printf "%-12s %a@.             fault space: %d faults@." "replsim"
@@ -203,14 +210,37 @@ let describe_cmd =
           (Replfault.space cluster);
         Format.printf "2-arm compound space (--multi):@.  %a@."
           Afex_faultspace.Subspace.pp
-          (Replfault.multi_space ~arms:2 cluster)
+          (Replfault.multi_space ~arms:2 cluster);
+        Format.printf
+          "rarity: %d coverage blocks (%d per replica); recovery/election \
+           blocks are hit only under correlated faults, so `explore --rarity \
+           --mask` with the default cutoff 0.05 targets them@."
+          (Replsim.total_blocks cluster)
+          Replsim.blocks_per_replica
     | None -> (
     match lookup_target target with
     | Error e ->
         prerr_endline e;
         exit 2
     | Ok (t, sub) ->
-        if profile then print_string (Afex_simtarget.Tracer.describe_string t)
+        (* On stderr: describe's stdout is a valid FSDL document and stays
+           pipeable into `afex parse`. *)
+        let rarity_hint () =
+          let total = Target.total_blocks t
+          and recovery = Target.recovery_blocks_total t in
+          if total > 0 then
+            Format.eprintf
+              "rarity: %d blocks, %d recovery-only (%.1f%%). A block is \
+               rare while hit on fewer than --rarity-cutoff of tests; the \
+               default 0.05 keeps anything reached less than once per 20 \
+               tests on the rewarded frontier (tuning recipe: ADAPTING.md).@."
+              total recovery
+              (100.0 *. float_of_int recovery /. float_of_int total)
+        in
+        if profile then begin
+          print_string (Afex_simtarget.Tracer.describe_string t);
+          rarity_hint ()
+        end
         else begin
           let funcs =
             match Afex_faultspace.Axis.kind (Afex_faultspace.Subspace.axis sub 1) with
@@ -220,7 +250,8 @@ let describe_cmd =
           let max_call =
             Afex_faultspace.Axis.cardinality (Afex_faultspace.Subspace.axis sub 2)
           in
-          print_string (Afex_simtarget.Tracer.standard_description t ~funcs ~max_call)
+          print_string (Afex_simtarget.Tracer.standard_description t ~funcs ~max_call);
+          rarity_hint ()
         end)
   in
   Cmd.v
@@ -246,6 +277,41 @@ let explore_cmd =
   let feedback_arg =
     let doc = "Enable the online redundancy-feedback loop (section 7.4)." in
     Arg.(value & flag & info [ "feedback" ] ~doc)
+  in
+  let rarity_arg =
+    let doc =
+      "Reward tests that cover rarely-hit basic blocks: a global hit-count \
+       histogram feeds a fitness bonus of $(b,--rarity-weight) / (1 + hits \
+       of the rarest block reached). Off by default, which keeps the \
+       paper's fitness pipeline exactly."
+    in
+    Arg.(value & flag & info [ "rarity" ] ~doc)
+  in
+  let rarity_weight_arg =
+    let doc = "Scale of the rarity bonus (implies nothing without $(b,--rarity))." in
+    Arg.(
+      value
+      & opt float Afex.Config.default_rarity.Afex.Config.weight
+      & info [ "rarity-weight" ] ~docv:"W" ~doc)
+  in
+  let rarity_cutoff_arg =
+    let doc =
+      "A block counts as rare while hit on fewer than $(docv) of the tests \
+       observed so far (used by $(b,--mask) and the serve-side histogram)."
+    in
+    Arg.(
+      value
+      & opt float Afex.Config.default_rarity.Afex.Config.cutoff
+      & info [ "rarity-cutoff" ] ~docv:"FRAC" ~doc)
+  in
+  let mask_arg =
+    let doc =
+      "FairFuzz-style mutation masking (requires $(b,--rarity)): when a \
+       parent test reached a block still below the rarity cutoff, pin the \
+       axes the sensitivity profile marks as critical and mutate only the \
+       rest."
+    in
+    Arg.(value & flag & info [ "mask" ] ~doc)
   in
   let top_arg =
     let doc = "How many top faults to list in the report." in
@@ -377,11 +443,28 @@ let explore_cmd =
     in
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"DIR" ~doc)
   in
-  let run target strategy iterations seed feedback top replay_out multi seed_analysis
+  let run target strategy iterations seed feedback rarity rarity_weight
+      rarity_cutoff mask top replay_out multi seed_analysis
       csv_out json_out assess jobs batch managers inflight latency adaptive
       window_min window_max trace_out replay_trace checkpoint_dir checkpoint_every
       resume_dir verbosity =
     setup_logging verbosity;
+    if mask && not rarity then begin
+      prerr_endline "afex: --mask needs --rarity (it pins against the rarity cutoff)";
+      exit 2
+    end;
+    if rarity && strategy <> `Fitness then begin
+      prerr_endline "afex: --rarity shapes fitness; use --strategy fitness with it";
+      exit 2
+    end;
+    if rarity_weight < 0.0 then begin
+      prerr_endline "afex: --rarity-weight must be non-negative";
+      exit 2
+    end;
+    if rarity_cutoff <= 0.0 || rarity_cutoff >= 1.0 then begin
+      prerr_endline "afex: --rarity-cutoff must be strictly between 0 and 1";
+      exit 2
+    end;
     let specs =
       List.map
         (fun m ->
@@ -486,6 +569,12 @@ let explore_cmd =
         ("iterations", string_of_int iterations);
         ("batch", string_of_int batch);
         ("feedback", string_of_bool feedback);
+        ("rarity", string_of_bool rarity);
+        ( "rarity-weight",
+          if rarity then Printf.sprintf "%h" rarity_weight else "-" );
+        ( "rarity-cutoff",
+          if rarity then Printf.sprintf "%h" rarity_cutoff else "-" );
+        ("mask", string_of_bool mask);
         ("multi", string_of_bool multi);
         ("seed-analysis", string_of_bool seed_analysis);
         ("latency", Option.value latency ~default:"-");
@@ -598,6 +687,12 @@ let explore_cmd =
         in
         let config = { config with Afex.Config.feedback } in
         let config =
+          if rarity then
+            Afex.Config.with_rarity ~weight:rarity_weight ~cutoff:rarity_cutoff
+              ~mask config
+          else config
+        in
+        let config =
           if analysis_seeds = [] then config
           else { config with Afex.Config.initial_seeds = analysis_seeds }
         in
@@ -633,6 +728,22 @@ let explore_cmd =
           end
         in
         print_string (Afex_report.Session_report.render ~top ~target result);
+        if rarity then begin
+          (match result.Afex.Session.rare_blocks with
+          | Some n ->
+              Format.printf
+                "rarity: %d/%d blocks still below the %.3f cutoff (weight %g%s)@."
+                n result.Afex.Session.total_blocks rarity_cutoff rarity_weight
+                (if mask then ", masking on" else "")
+          | None -> ());
+          let m = result.Afex.Session.mutator in
+          Format.printf
+            "mutator: %d proposals, %d masked accepts, %d/%d \
+             masked/unmasked rejects, %d random fallbacks@."
+            m.Afex.Mutator.proposals m.Afex.Mutator.masked
+            m.Afex.Mutator.masked_rejects m.Afex.Mutator.rejects
+            m.Afex.Mutator.random_fallbacks
+        end;
         (match scheduler with
         | None -> ()
         | Some s ->
@@ -749,6 +860,7 @@ let explore_cmd =
     (Cmd.info "explore" ~doc:"Run a fault exploration session against a target")
     Term.(
       const run $ target_arg $ strategy_arg $ iterations_arg $ seed_arg $ feedback_arg
+      $ rarity_arg $ rarity_weight_arg $ rarity_cutoff_arg $ mask_arg
       $ top_arg $ replay_arg $ multi_arg $ seed_analysis_arg $ csv_arg $ json_arg
       $ assess_arg $ jobs_arg $ batch_arg $ manager_arg $ inflight_arg $ latency_arg
       $ adaptive_arg $ window_min_arg $ window_max_arg $ trace_arg $ replay_trace_arg
@@ -786,7 +898,16 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "latency" ] ~docv:"DIST" ~doc)
   in
-  let run target host port once multi latency verbosity =
+  let rarity_cutoff_arg =
+    let doc =
+      "Accumulate a hit-count histogram over every block the served \
+       scenarios cover and report, when the server exits, how many blocks \
+       stayed below the $(docv) rarity cutoff — the manager-side view of \
+       what an $(b,explore --rarity) client is being steered towards."
+    in
+    Arg.(value & opt (some float) None & info [ "rarity-cutoff" ] ~docv:"FRAC" ~doc)
+  in
+  let run target host port once multi latency rarity_cutoff verbosity =
     setup_logging verbosity;
     let executor =
       match parse_replsim_exn target with
@@ -821,9 +942,48 @@ let serve_cmd =
                            (Afex_faultspace.Scenario.to_string scenario))
                        executor))
         in
+        (* The rarity histogram wraps the outermost executor, so it counts
+           exactly what goes over the wire (latency wrapping included). *)
+        let hist =
+          match rarity_cutoff with
+          | None -> None
+          | Some cutoff ->
+              if cutoff <= 0.0 || cutoff >= 1.0 then begin
+                prerr_endline
+                  "afex: --rarity-cutoff must be strictly between 0 and 1";
+                exit 2
+              end;
+              Some
+                (Afex.Rarity.create ~blocks:executor.Afex.Executor.total_blocks,
+                 cutoff)
+        in
+        let executor =
+          match hist with
+          | None -> executor
+          | Some (h, _) ->
+              {
+                executor with
+                Afex.Executor.run_scenario =
+                  (fun scenario ->
+                    let outcome = executor.Afex.Executor.run_scenario scenario in
+                    Afex.Rarity.observe h outcome.Outcome.coverage;
+                    outcome);
+              }
+        in
+        let report_rarity () =
+          match hist with
+          | None -> ()
+          | Some (h, cutoff) ->
+              Format.printf
+                "rarity: served %d tests; %d/%d blocks below the %.3f cutoff@."
+                (Afex.Rarity.tests h)
+                (Afex.Rarity.rare_count h ~cutoff)
+                (Afex.Rarity.blocks h) cutoff
+        in
         match Afex_cluster.Remote_manager.serve_tcp ~host ~port ~once executor with
-        | Ok () -> ()
+        | Ok () -> report_rarity ()
         | Error e ->
+            report_rarity ();
             prerr_endline
               ("afex: serve: " ^ Afex_cluster.Remote_manager.string_of_error e);
             exit 1)
@@ -835,7 +995,7 @@ let serve_cmd =
           protocol); point $(b,explore --manager) at it")
     Term.(
       const run $ target_arg $ host_arg $ port_arg $ once_arg $ multi_arg
-      $ latency_arg $ verbose_arg)
+      $ latency_arg $ rarity_cutoff_arg $ verbose_arg)
 
 (* --- afex inject --- *)
 

@@ -76,7 +76,7 @@ module Snapshot = struct
     explorer : Explorer.Snapshot.t;
   }
 
-  let header = "afex-checkpoint 1"
+  let header = "afex-checkpoint 2"
 
   let sched_to_tokens (s : Scheduler.snapshot) =
     Printf.sprintf "%s %d %d %s %s %d %d %Lx %s" s.Scheduler.s_mode s.s_window
@@ -231,6 +231,19 @@ module Snapshot = struct
       x.feedback;
     index_to_lines buf "F" x.failure_index;
     index_to_lines buf "C" x.crash_index;
+    (match x.rarity with
+    | None -> ()
+    | Some (tests, pairs) ->
+        line "y %d %s %s" tests
+          (ints_to (List.map fst pairs))
+          (ints_to (List.map snd pairs));
+        line "Y %s %s"
+          (ints_to (List.map fst x.rare_blocks))
+          (ints_to (List.map snd x.rare_blocks)));
+    (let m = x.mutator in
+     line "M %d %d %d %d %d" m.Afex.Mutator.proposals m.Afex.Mutator.masked
+       m.Afex.Mutator.rejects m.Afex.Mutator.masked_rejects
+       m.Afex.Mutator.random_fallbacks);
     let body = Buffer.contents buf in
     body ^ Printf.sprintf "k %08x\n" (Transport.checksum body)
 
@@ -253,6 +266,9 @@ module Snapshot = struct
     mutable p_ce_rev : int array list;
     mutable p_cp : int list option;
     mutable p_ci : int list option;
+    mutable p_rarity : (int * (int * int) list) option;
+    mutable p_rareb : (int * int) list option;
+    mutable p_mut : Afex.Mutator.stats option;
   }
 
   let tokens_array what n toks =
@@ -325,6 +341,33 @@ module Snapshot = struct
     | "Ci" :: [ l ] ->
         if p.p_ci <> None then bad "duplicate crash-index items";
         p.p_ci <- Some (ints_of "crash-index items" l)
+    | "y" :: [ tests; blocks; counts ] ->
+        if p.p_rarity <> None then bad "duplicate rarity line";
+        let b = ints_of "rarity blocks" blocks
+        and c = ints_of "rarity counts" counts in
+        if List.length b <> List.length c then
+          bad "rarity histogram: %d blocks against %d counts" (List.length b)
+            (List.length c);
+        p.p_rarity <- Some (nat "rarity tests" tests, List.combine b c)
+    | "Y" :: [ births; blocks ] ->
+        if p.p_rareb <> None then bad "duplicate rare-block line";
+        let b = ints_of "rare-block births" births
+        and k = ints_of "rare-block ids" blocks in
+        if List.length b <> List.length k then
+          bad "rare blocks: %d births against %d blocks" (List.length b)
+            (List.length k);
+        p.p_rareb <- Some (List.combine b k)
+    | "M" :: [ pr; ma; re; mr; rf ] ->
+        if p.p_mut <> None then bad "duplicate mutator line";
+        p.p_mut <-
+          Some
+            {
+              Afex.Mutator.proposals = nat "mutator proposals" pr;
+              masked = nat "mutator masked" ma;
+              rejects = nat "mutator rejects" re;
+              masked_rejects = nat "mutator masked rejects" mr;
+              random_fallbacks = nat "mutator fallbacks" rf;
+            }
     | tag :: _ -> bad "unknown line tag %S" tag
     | [] -> bad "empty line"
 
@@ -337,7 +380,7 @@ module Snapshot = struct
             p_covered = None; p_records_rev = []; p_queue = None;
             p_seeds_rev = []; p_sens_rev = []; p_frames_rev = []; p_fb_rev = [];
             p_fe_rev = []; p_fp = None; p_fi = None; p_ce_rev = []; p_cp = None;
-            p_ci = None;
+            p_ci = None; p_rarity = None; p_rareb = None; p_mut = None;
           }
         in
         List.iter (fun line -> if line <> "" then parse_line p line) rest;
@@ -375,6 +418,9 @@ module Snapshot = struct
                   d_parent = req "crash-index parents" p.p_cp;
                   d_items = req "crash-index items" p.p_ci;
                 };
+              rarity = p.p_rarity;
+              rare_blocks = Option.value p.p_rareb ~default:[];
+              mutator = req "mutator line" p.p_mut;
             };
         }
     | first :: _ -> bad "bad header %S (expected %S)" first header

@@ -3,6 +3,8 @@ type strategy =
   | Random_search
   | Exhaustive
 
+type rarity = { weight : float; cutoff : float; mask : bool }
+
 type t = {
   seed : int;
   strategy : strategy;
@@ -17,6 +19,7 @@ type t = {
   eviction : Pqueue.eviction;
   initial_seeds : Afex_faultspace.Point.t list;
   setup_ms : float;
+  rarity : rarity option;
 }
 
 let base ?(seed = 1) strategy =
@@ -34,7 +37,17 @@ let base ?(seed = 1) strategy =
     eviction = Pqueue.Inverse_fitness;
     initial_seeds = [];
     setup_ms = 5.0;
+    rarity = None;
   }
+
+let default_rarity = { weight = 2.0; cutoff = 0.10; mask = false }
+
+let with_rarity ?(weight = default_rarity.weight)
+    ?(cutoff = default_rarity.cutoff) ?(mask = default_rarity.mask) config =
+  if weight < 0.0 then invalid_arg "Config.with_rarity: negative weight";
+  if cutoff <= 0.0 || cutoff >= 1.0 then
+    invalid_arg "Config.with_rarity: cutoff must be in (0, 1)";
+  { config with rarity = Some { weight; cutoff; mask } }
 
 let fitness_guided ?seed () = base ?seed (Fitness_guided Mutator.default_params)
 let random_search ?seed () = base ?seed Random_search

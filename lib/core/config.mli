@@ -5,6 +5,19 @@ type strategy =
   | Random_search
   | Exhaustive
 
+type rarity = {
+  weight : float;
+      (** multiplier on the {!Rarity.bonus} added to fitness, on the
+          scale of the standard sensor (a failed test scores 10) *)
+  cutoff : float;
+      (** a block is rare while hit on fewer than [cutoff] of the tests
+          observed so far (the FairFuzz rare-branch threshold) *)
+  mask : bool;
+      (** FairFuzz-style mutation masking: when a parent reached a block
+          below the cutoff, pin the axes sensitivity marks as critical and
+          mutate only the rest *)
+}
+
 type t = {
   seed : int;
   strategy : strategy;
@@ -29,6 +42,9 @@ type t = {
   setup_ms : float;
       (** fixed per-test environment setup/cleanup cost, charged to the
           simulated wall clock *)
+  rarity : rarity option;
+      (** rarity-guided search; [None] (the default) keeps the paper's
+          fitness pipeline bit-for-bit reproducible *)
 }
 
 val fitness_guided : ?seed:int -> unit -> t
@@ -38,5 +54,18 @@ val fitness_guided : ?seed:int -> unit -> t
 
 val random_search : ?seed:int -> unit -> t
 val exhaustive : ?seed:int -> unit -> t
+
+val default_rarity : rarity
+(** weight 2 (a never-hit block is worth a fifth of a failed test under
+    the standard sensor — a nudge towards rare coverage, not an override
+    of the impact signal; heavier weights measurably slow the
+    time-to-first-violation races of [bench rarity]), cutoff 0.10,
+    masking off. *)
+
+val with_rarity : ?weight:float -> ?cutoff:float -> ?mask:bool -> t -> t
+(** Enable rarity guidance on a configuration, defaulting unspecified
+    knobs from {!default_rarity}.
+    @raise Invalid_argument on a negative weight or a cutoff outside
+    (0, 1). *)
 
 val strategy_name : strategy -> string

@@ -32,6 +32,12 @@ type t = {
       (** injection stacks of triggered failing tests, clustered online *)
   crash_index : Index.t;  (** crash stacks, clustered online *)
   covered : Bitset.t;
+  rarity : Rarity.t option;  (** global hit-count histogram, when enabled *)
+  rare_block : (int, int) Hashtbl.t;
+      (** birth -> rarest block that test covered (at its report time);
+          the mutator checks the block's current hit count to decide
+          whether to mask mutations of that parent *)
+  mutator_stats : Mutator.stats;
   mutable seeds : Point.t list;  (** analysis-provided seeds, consumed first *)
   mutable cursor : Point.t Seq.t;  (** exhaustive strategy only *)
   mutable cursor_consumed : int;  (** points taken off [cursor] so far *)
@@ -66,6 +72,13 @@ let create ?(transform = fun p -> p) config sub executor =
     failure_index = Index.create ~intern ();
     crash_index = Index.create ~intern ();
     covered = Bitset.create executor.Executor.total_blocks;
+    rarity =
+      Option.map
+        (fun (_ : Config.rarity) ->
+          Rarity.create ~blocks:executor.Executor.total_blocks)
+        config.Config.rarity;
+    rare_block = Hashtbl.create 64;
+    mutator_stats = Mutator.create_stats ();
     seeds = config.Config.initial_seeds;
     cursor = Subspace.enumerate sub;
     cursor_consumed = 0;
@@ -104,6 +117,26 @@ let random_novel t =
   in
   draw 0
 
+(* FairFuzz masking: a parent is rare-reaching while the rarest block it
+   covered is still below the cutoff against the *current* histogram (a
+   block everyone has since piled into stops justifying pins). The pin set
+   comes from the live sensitivity profile: axes paying off above the
+   uniform share are what established the position. *)
+let mask_for t =
+  match (t.rarity, t.config.Config.rarity) with
+  | Some hist, Some rc when rc.Config.mask ->
+      fun (parent : Test_case.t) -> (
+        match Hashtbl.find_opt t.rare_block parent.Test_case.birth with
+        | Some b when Rarity.is_rare hist ~cutoff:rc.Config.cutoff b ->
+            let m = Sensitivity.mask t.sensitivity in
+            (* A mask must pin something and leave something free to be
+               worth applying; early sessions (flat sensitivity) mutate
+               unmasked. *)
+            if Array.exists Fun.id m && Array.exists not m then Some m
+            else None
+        | _ -> None)
+  | _ -> fun _ -> None
+
 let next t =
   let proposal =
     match t.config.Config.strategy with
@@ -126,8 +159,9 @@ let next t =
             then Some { Mutator.point = random_novel t; mutated_axis = None }
             else
               Some
-                (Mutator.next params t.rng t.sub t.sensitivity ~queue:t.queue
-                   ~history:t.history ~is_pending:(is_pending t)))
+                (Mutator.next ~stats:t.mutator_stats ~mask:(mask_for t) params
+                   t.rng t.sub t.sensitivity ~queue:t.queue ~history:t.history
+                   ~is_pending:(is_pending t)))
   in
   (match proposal with
   | Some p ->
@@ -153,6 +187,15 @@ let report t (proposal : Mutator.proposal) outcome =
   let new_blocks = Bitset.diff_count outcome.Outcome.coverage t.covered in
   Bitset.union_into ~dst:t.covered outcome.Outcome.coverage;
   let impact = t.config.Config.sensor.Sensor.score { Sensor.outcome; new_blocks } in
+  (* Rarity bonus against the histogram *before* this outcome is folded
+     in (the same convention as [new_blocks] above): a weighted reward for
+     reaching the session's rarely-hit blocks. *)
+  let bonus =
+    match (t.rarity, t.config.Config.rarity) with
+    | Some hist, Some rc ->
+        Some (rc.Config.weight *. Rarity.bonus hist outcome.Outcome.coverage)
+    | _ -> None
+  in
   let fitness =
     let f =
       match t.config.Config.relevance with
@@ -162,8 +205,8 @@ let report t (proposal : Mutator.proposal) outcome =
             impact
     in
     if t.config.Config.feedback then
-      Feedback.weigh_fitness t.feedback ~trace:outcome.Outcome.injection_stack f
-    else f
+      Feedback.weigh_fitness ?bonus t.feedback ~trace:outcome.Outcome.injection_stack f
+    else match bonus with None -> f | Some b -> f +. b
   in
   let case =
     {
@@ -197,6 +240,15 @@ let report t (proposal : Mutator.proposal) outcome =
   if Test_case.failed case && case.Test_case.triggered then
     Index.observe t.failure_index
       (Option.value case.Test_case.injection_stack ~default:[]);
+  (* Rarity bookkeeping: remember which rare frontier this test stood on
+     (pre-observation, matching the bonus), then absorb its coverage. *)
+  (match t.rarity with
+  | Some hist ->
+      (match Rarity.rarest_block hist outcome.Outcome.coverage with
+      | Some b -> Hashtbl.replace t.rare_block case.Test_case.birth b
+      | None -> ());
+      Rarity.observe hist outcome.Outcome.coverage
+  | None -> ());
   t.simulated_ms <-
     t.simulated_ms +. outcome.Outcome.duration_ms +. t.config.Config.setup_ms;
   t.records <- case :: t.records;
@@ -236,6 +288,8 @@ let triggered_count t = t.triggered
 let covered_blocks t = Bitset.count t.covered
 let simulated_ms t = t.simulated_ms
 let sensitivity_probabilities t = Sensitivity.probabilities t.sensitivity
+let rarity_histogram t = t.rarity
+let mutator_stats t = t.mutator_stats
 let failure_index t = t.failure_index
 let crash_index t = t.crash_index
 let queue_snapshot t = Pqueue.elements t.queue
@@ -265,6 +319,9 @@ module Snapshot = struct
     feedback : int array list;
     failure_index : Index.dump;
     crash_index : Index.dump;
+    rarity : (int * (int * int) list) option;  (* Rarity.dump, when enabled *)
+    rare_blocks : (int * int) list;  (* birth -> rarest block, ascending *)
+    mutator : Mutator.stats;  (* private copy *)
   }
 
   let capture (e : explorer) =
@@ -291,6 +348,11 @@ module Snapshot = struct
       feedback = Feedback.dump e.feedback;
       failure_index = Index.dump e.failure_index;
       crash_index = Index.dump e.crash_index;
+      rarity = Option.map Rarity.dump e.rarity;
+      rare_blocks =
+        List.sort compare
+          (Hashtbl.fold (fun birth b acc -> (birth, b) :: acc) e.rare_block []);
+      mutator = Mutator.copy_stats e.mutator_stats;
     }
 end
 
@@ -346,6 +408,45 @@ let restore ?(transform = fun p -> p) config sub executor (s : Snapshot.t) =
     else Ok ()
   in
   let* () = if s.Snapshot.issued < 0 then err "negative issued count" else Ok () in
+  let* rarity =
+    match (config.Config.rarity, s.Snapshot.rarity) with
+    | None, None -> Ok None
+    | None, Some _ -> err "rarity histogram present but rarity is disabled"
+    | Some _, None -> err "rarity enabled but the snapshot holds no histogram"
+    | Some _, Some d -> (
+        match Rarity.load ~blocks:executor.Executor.total_blocks d with
+        | Ok h -> Ok (Some h)
+        | Error m -> Error ("Explorer.restore: " ^ m))
+  in
+  let* rare_block =
+    let h = Hashtbl.create 64 in
+    let rec fill last = function
+      | [] -> Ok h
+      | (birth, b) :: rest ->
+          if birth <= last then err "rare-block births out of order at %d" birth
+          else if birth < 1 || birth > s.Snapshot.iterations then
+            err "rare-block birth %d outside the %d-test history" birth
+              s.Snapshot.iterations
+          else if b < 0 || b >= executor.Executor.total_blocks then
+            err "rare block %d outside the target's %d blocks" b
+              executor.Executor.total_blocks
+          else begin
+            Hashtbl.replace h birth b;
+            fill birth rest
+          end
+    in
+    if rarity = None && s.Snapshot.rare_blocks <> [] then
+      err "rare-block map present but rarity is disabled"
+    else fill 0 s.Snapshot.rare_blocks
+  in
+  let* () =
+    let m = s.Snapshot.mutator in
+    if
+      m.Mutator.proposals < 0 || m.Mutator.masked < 0 || m.Mutator.rejects < 0
+      || m.Mutator.masked_rejects < 0 || m.Mutator.random_fallbacks < 0
+    then err "negative mutator statistics"
+    else Ok ()
+  in
   let history = History.create () in
   List.iter (fun c -> History.add history c.Test_case.point) s.Snapshot.records;
   (* The queue is restored by reference into the record list: aging decays
@@ -400,6 +501,9 @@ let restore ?(transform = fun p -> p) config sub executor (s : Snapshot.t) =
       failure_index;
       crash_index;
       covered;
+      rarity;
+      rare_block;
+      mutator_stats = Mutator.copy_stats s.Snapshot.mutator;
       seeds = s.Snapshot.seeds;
       cursor;
       cursor_consumed = s.Snapshot.cursor_consumed;

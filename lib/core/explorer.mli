@@ -71,6 +71,17 @@ val crash_index : t -> Afex_quality.Index.t
     items align with the crashing records in {!records} order. *)
 
 val sensitivity_probabilities : t -> float array
+
+val rarity_histogram : t -> Rarity.t option
+(** The global block hit-count histogram, present iff the configuration
+    enables rarity guidance. Fed by {!report} before each outcome's own
+    coverage is folded in. *)
+
+val mutator_stats : t -> Mutator.stats
+(** Candidate-generation accounting: accepted/rejected mutations (masked
+    and unmasked separately) and random fallbacks after attempt-budget
+    exhaustion. All zeros for the non-guided strategies. *)
+
 val queue_snapshot : t -> Test_case.t list
 val history_size : t -> int
 val subspace : t -> Afex_faultspace.Subspace.t
@@ -107,6 +118,11 @@ module Snapshot : sig
     feedback : int array list;
     failure_index : Afex_quality.Index.dump;
     crash_index : Afex_quality.Index.dump;
+    rarity : (int * (int * int) list) option;
+        (** {!Rarity.dump}, present iff rarity is enabled *)
+    rare_blocks : (int * int) list;
+        (** (birth, rarest covered block) pairs, ascending by birth *)
+    mutator : Mutator.stats;  (** a private copy of the tallies *)
   }
 
   val capture : explorer -> t

@@ -23,13 +23,48 @@ let default_params =
 
 type proposal = { point : Point.t; mutated_axis : int option }
 
+type stats = {
+  mutable proposals : int;
+  mutable masked : int;
+  mutable rejects : int;
+  mutable masked_rejects : int;
+  mutable random_fallbacks : int;
+}
+
+let create_stats () =
+  { proposals = 0; masked = 0; rejects = 0; masked_rejects = 0; random_fallbacks = 0 }
+
+let copy_stats s = { s with proposals = s.proposals }
+
 let sigma_for params axis =
   params.sigma_fraction *. float_of_int (Axis.cardinality axis)
 
-let mutate params rng sub sens ~parent =
+(* Axis-choice weights with pinned axes zeroed out. If sensitivity left no
+   mass on any free axis, the choice degrades to uniform over the free
+   axes — never over the pinned ones (Dist.of_weights would treat an
+   all-zero array as uniform over everything). *)
+let masked_weights ~mask weights =
+  let n = Array.length weights in
+  if Array.length mask <> n then invalid_arg "Mutator.mutate: mask length mismatch";
+  if not (Array.exists not mask) then
+    invalid_arg "Mutator.mutate: mask pins every axis";
+  let w = Array.mapi (fun i v -> if mask.(i) then 0.0 else v) weights in
+  if Array.for_all (fun v -> v <= 0.0) w then
+    Array.mapi (fun i _ -> if mask.(i) then 0.0 else 1.0) w
+  else w
+
+let mutate ?mask params rng sub sens ~parent =
   let axis_index =
-    if params.uniform_axis_choice then Rng.int rng (Subspace.dim sub)
-    else Dist.sample_weighted rng (Sensitivity.probabilities sens)
+    match mask with
+    | None ->
+        if params.uniform_axis_choice then Rng.int rng (Subspace.dim sub)
+        else Dist.sample_weighted rng (Sensitivity.probabilities sens)
+    | Some mask ->
+        let base =
+          if params.uniform_axis_choice then Array.make (Subspace.dim sub) 1.0
+          else Sensitivity.probabilities sens
+        in
+        Dist.sample_weighted rng (masked_weights ~mask base)
   in
   let axis = Subspace.axis sub axis_index in
   let n = Axis.cardinality axis in
@@ -57,22 +92,45 @@ let mutate params rng sub sens ~parent =
   in
   (Point.with_component parent.Test_case.point axis_index new_value, axis_index)
 
-let next params rng sub sens ~queue ~history ~is_pending =
+let next ?stats ?(mask = fun (_ : Test_case.t) -> None) params rng sub sens
+    ~queue ~history ~is_pending =
+  let tally f = match stats with Some s -> f s | None -> () in
+  tally (fun s -> s.proposals <- s.proposals + 1);
   let novel p = (not (History.mem history p)) && not (is_pending p) in
   let rec attempt k =
-    if k >= params.max_attempts then
-      (* Neighbourhoods exhausted: fall back to uniform exploration. *)
+    if k >= params.max_attempts then begin
+      (* Neighbourhoods exhausted: fall back to uniform exploration. The
+         counters above record what burnt the attempt budget, so a
+         mask-heavy session degrading to random search is visible instead
+         of silent. *)
+      tally (fun s -> s.random_fallbacks <- s.random_fallbacks + 1);
       { point = Subspace.random_point rng sub; mutated_axis = None }
+    end
     else begin
       match Pqueue.sample rng queue with
       | None ->
           let p = Subspace.random_point rng sub in
-          if novel p then { point = p; mutated_axis = None } else attempt (k + 1)
+          if novel p then { point = p; mutated_axis = None }
+          else begin
+            tally (fun s -> s.rejects <- s.rejects + 1);
+            attempt (k + 1)
+          end
       | Some parent ->
-          let point, axis = mutate params rng sub sens ~parent in
-          if novel point && Subspace.mem sub point then
+          let m = mask parent in
+          let point, axis = mutate ?mask:m params rng sub sens ~parent in
+          if novel point && Subspace.mem sub point then begin
+            (match m with
+            | Some _ -> tally (fun s -> s.masked <- s.masked + 1)
+            | None -> ());
             { point; mutated_axis = Some axis }
-          else attempt (k + 1)
+          end
+          else begin
+            tally (fun s ->
+                match m with
+                | Some _ -> s.masked_rejects <- s.masked_rejects + 1
+                | None -> s.rejects <- s.rejects + 1);
+            attempt (k + 1)
+          end
     end
   in
   attempt 0

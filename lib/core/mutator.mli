@@ -33,9 +33,31 @@ type proposal = {
   mutated_axis : int option;  (** [None] when the proposal is random *)
 }
 
+type stats = {
+  mutable proposals : int;  (** calls to {!next} *)
+  mutable masked : int;  (** accepted proposals mutated under a pin mask *)
+  mutable rejects : int;
+      (** unmasked attempts rejected (duplicate, pending, out of space) *)
+  mutable masked_rejects : int;
+      (** masked attempts rejected — when this dominates, masking is
+          burning the attempt budget and the search is degrading to the
+          random fallback *)
+  mutable random_fallbacks : int;
+      (** times the attempt budget ran out and a uniform random point was
+          issued instead of a mutation *)
+}
+(** Why candidate generation went the way it did. The random fallback
+    used to be indistinguishable from deliberate random exploration; these
+    counters attribute it to its cause, so mutation masking cannot
+    silently turn the session into random search. *)
+
+val create_stats : unit -> stats
+val copy_stats : stats -> stats
+
 val sigma_for : params -> Afex_faultspace.Axis.t -> float
 
 val mutate :
+  ?mask:bool array ->
   params ->
   Afex_stats.Rng.t ->
   Afex_faultspace.Subspace.t ->
@@ -43,9 +65,16 @@ val mutate :
   parent:Test_case.t ->
   Afex_faultspace.Point.t * int
 (** One mutation step: returns the offspring and the mutated axis (the
-    offspring may coincide with an executed test; the caller dedupes). *)
+    offspring may coincide with an executed test; the caller dedupes).
+    With [mask], pinned ([true]) axes are never chosen for mutation — the
+    FairFuzz move for parents that reached a rare block: hold the axes
+    that got them there, explore the rest.
+    @raise Invalid_argument if the mask length differs from the subspace
+    dimension or every axis is pinned. *)
 
 val next :
+  ?stats:stats ->
+  ?mask:(Test_case.t -> bool array option) ->
   params ->
   Afex_stats.Rng.t ->
   Afex_faultspace.Subspace.t ->
@@ -58,4 +87,7 @@ val next :
     fresh uniform points when the queue is empty or the neighbourhood is
     exhausted. The result is guaranteed novel w.r.t. history and pending
     (if any novel point remains findable within the attempt budget;
-    otherwise the last random draw is returned regardless). *)
+    otherwise the last random draw is returned regardless). [mask] is
+    consulted per sampled parent and applies {!mutate}'s masking;
+    [stats], when supplied, tallies accepts, rejects, and fallbacks by
+    cause. Neither changes the draw sequence of an unmasked call. *)

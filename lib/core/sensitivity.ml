@@ -41,6 +41,17 @@ let probabilities t =
 
 let dims t = Array.length t.axes
 
+(* An axis is "critical" — worth pinning under mutation masking — when its
+   choice probability strictly exceeds the uniform share: its mutations
+   have been paying off above baseline, so it is what established the
+   parent's position. The probabilities sum to 1, so at least one axis
+   always stays at or below uniform and the mask can never pin
+   everything (the mutator additionally refuses an all-pinned mask). *)
+let mask t =
+  let p = probabilities t in
+  let uniform = 1.0 /. float_of_int (Array.length p) in
+  Array.map (fun v -> v > uniform) p
+
 let dump t = Array.map (fun state -> state.samples) t.axes
 
 let load ?(window = 20) ~dims samples =

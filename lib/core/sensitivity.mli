@@ -23,6 +23,14 @@ val probabilities : t -> float array
 
 val dims : t -> int
 
+val mask : t -> bool array
+(** Per-axis pin mask for FairFuzz-style masked mutation: [true] on every
+    axis whose choice probability strictly exceeds the uniform share —
+    the axes whose mutations established the current position and should
+    be held fixed while the rest explore. Because the probabilities sum
+    to 1, at least one axis is always left unpinned (up to float
+    rounding; {!Mutator.mutate} rejects a fully pinned mask). *)
+
 val dump : t -> float list array
 (** Per-axis sample windows, newest first — the entire mutable state. *)
 

@@ -20,6 +20,8 @@ type result = {
   crash_cluster_detail : Test_case.t Clustering.cluster list;
   simulated_ms : float;
   sensitivity : float array;
+  mutator : Mutator.stats;
+  rare_blocks : int option;
   failure_curve : int array;
   stopped_early : bool;
   stop_iteration : int option;
@@ -78,6 +80,13 @@ let summarize explorer ~total_blocks ~stopped_early ~stop_iteration =
     crash_cluster_detail;
     simulated_ms = Explorer.simulated_ms explorer;
     sensitivity = Explorer.sensitivity_probabilities explorer;
+    mutator = Mutator.copy_stats (Explorer.mutator_stats explorer);
+    rare_blocks =
+      (match
+         (Explorer.rarity_histogram explorer, (Explorer.config explorer).Config.rarity)
+       with
+      | Some hist, Some rc -> Some (Rarity.rare_count hist ~cutoff:rc.Config.cutoff)
+      | _ -> None);
     failure_curve = curve;
     stopped_early;
     stop_iteration;

@@ -32,6 +32,13 @@ type result = {
           index and reused by {!crash_cluster_representatives} *)
   simulated_ms : float;
   sensitivity : float array;  (** final axis probabilities *)
+  mutator : Mutator.stats;
+      (** candidate-generation accounting (masked accepts/rejects and
+          random fallbacks by cause) — how much of the session was genuine
+          guided mutation vs. attempt-budget fallback *)
+  rare_blocks : int option;
+      (** blocks still below the rarity cutoff at session end, when
+          rarity guidance was enabled (§7.2's recovery-code sliver) *)
   failure_curve : int array;
       (** cumulative failed-test count after each iteration (Fig. 8) *)
   stopped_early : bool;

@@ -139,19 +139,24 @@ let register t trace =
     store t { tokens; sorted }
   end
 
-let weigh_fitness t ~trace fitness =
+let weigh_fitness ?bonus t ~trace fitness =
+  (* The bonus lands after the redundancy scale, so a test reaching a rare
+     block keeps its reward even when its trace is a known repeat. Absent
+     a bonus the result is bit-identical to the plain scale (including the
+     -0.0 an exact repeat of a negative fitness produces). *)
+  let boost f = match bonus with None -> f | Some b -> f +. b in
   match trace with
-  | None -> fitness
+  | None -> boost fitness
   | Some trace ->
       (* One interning pass and one exact-table probe per outcome: the
          seed implementation recomputed the concatenated key and the
          token array separately for the weight and the registration. *)
       let candidate = intern_entry t trace in
-      if Hashtbl.mem t.exact candidate.tokens then fitness *. 0.0
+      if Hashtbl.mem t.exact candidate.tokens then boost (fitness *. 0.0)
       else begin
         let w = 1.0 -. best_similarity t candidate in
         store t candidate;
-        fitness *. w
+        boost (fitness *. w)
       end
 
 let dump t = List.rev_map Array.copy t.order_rev

@@ -23,9 +23,13 @@ val weight : t -> string list -> float
 val register : t -> string list -> unit
 (** Record a trace (duplicates are collapsed). *)
 
-val weigh_fitness : t -> trace:string list option -> float -> float
+val weigh_fitness : ?bonus:float -> t -> trace:string list option -> float -> float
 (** Apply the linear redundancy scale to a fitness value and register the
-    trace. [None] traces (fault did not trigger) pass through unchanged. *)
+    trace. [None] traces (fault did not trigger) pass through unchanged.
+    [bonus] (the explorer's weighted rarity bonus) is added {e after} the
+    scale, so coverage of a rarely-hit block is rewarded even on a
+    redundant trace; omitting it leaves results bit-identical to the
+    unscaled signature. *)
 
 val dump : t -> int array list
 (** Registered distinct traces as interned token arrays, in registration

@@ -10,6 +10,7 @@ let () =
       ("prop_quality", Test_prop_quality.suite);
       ("core", Test_core.suite);
       ("prop_core", Test_prop_core.suite);
+      ("rarity", Test_rarity.suite);
       ("cluster", Test_cluster.suite);
       ("transport", Test_transport.suite);
       ("async", Test_async.suite);
