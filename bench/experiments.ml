@@ -1259,6 +1259,171 @@ let adapt ?(iterations = 5000) ?(windows = [ 1; 4; 8; 32; 128 ]) () =
   note "such choice, which is the point)."
 
 (* ------------------------------------------------------------------ *)
+(* Work-stealing runtime: the unbounded window vs every static choice  *)
+(* ------------------------------------------------------------------ *)
+
+let steal ?(smoke = false) ?iterations ?(windows = [ 1; 4; 8; 32; 128 ]) () =
+  section
+    "Work-stealing runtime: window=inf vs static and adaptive windows \
+     (BENCH_steal.json)";
+  let iterations =
+    match iterations with Some n -> n | None -> if smoke then 1200 else 5000
+  in
+  let target = Apache.target () in
+  let sub = Apache.space () in
+  let base = Afex.Executor.of_target target in
+  (* The barrier pool had to pick a window: too small starves workers,
+     too large stalls the merge. The barrierless runtime has no merge
+     barrier, so the window only bounds feedback lag — an unbounded
+     window (capped by the sync watermarks alone) should saturate every
+     latency regime without tuning. Smoke keeps the gate cheap: the fast
+     model only. *)
+  let models =
+    let all =
+      [
+        ("fast", Target.Fixed 0.1);
+        ("slow", Target.Fixed 2.0);
+        ("bimodal", Target.Bimodal { fast = 0.3; slow = 8.0; slow_share = 0.15 });
+      ]
+    in
+    if smoke then [ List.hd all ] else all
+  in
+  let pool_exec dist =
+    let model = Target.latency_model ~seed:31 dist in
+    Pool.Async
+      (Afex.Executor.delayed
+         ~delay_ms:(fun scenario ->
+           Target.latency_ms model (Afex_faultspace.Scenario.to_string scenario))
+         base)
+  in
+  let config () = Config.fitness_guided ~seed:2718 () in
+  let run ?scheduler ?sync_every ~inflight ~batch_size dist =
+    let pool = Pool.create ~inflight ~jobs:1 (pool_exec dist) in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        Pool.session ?scheduler ?sync_every ~batch_size ~iterations pool
+          (config ()) sub)
+  in
+  let throughput (s : Pool.stats) n =
+    if s.Pool.wall_ms <= 0.0 then 0.0
+    else 1000.0 *. float_of_int n /. s.Pool.wall_ms
+  in
+  let regression = ref false in
+  let model_jsons =
+    List.map
+      (fun (name, dist) ->
+        note "--- %s: %s ---" name (Target.latency_dist_to_string dist);
+        let statics =
+          List.map
+            (fun w ->
+              let r, s = run ~inflight:w ~batch_size:w dist in
+              (w, throughput s r.Session.iterations, s))
+            windows
+        in
+        let scheduler =
+          Scheduler.create ~window_min:1 ~window_max:128 ~initial:32 ~seed:99
+            Scheduler.Adaptive
+        in
+        let ar, astats =
+          run ~scheduler ~inflight:(Scheduler.window scheduler) ~batch_size:32 dist
+        in
+        let a_tp = throughput astats ar.Session.iterations in
+        (* window=inf: no submission bound at all (the CLI spelling is
+           --batch 0). No checkpoint is armed, so the sync watermarks buy
+           nothing here and are pushed past the campaign — otherwise the
+           unbounded window degenerates into a 512-wide barrier every
+           sync_every releases. The event loop still needs a concrete
+           capacity; give it the widest static window. *)
+        let ir, istats =
+          run ~sync_every:max_int ~inflight:512 ~batch_size:max_int dist
+        in
+        let i_tp = throughput istats ir.Session.iterations in
+        let best_static =
+          List.fold_left (fun acc (_, tp, _) -> Float.max acc tp) 0.0 statics
+        in
+        let best = Float.max best_static a_tp in
+        (* "Matches or beats": within measurement noise of the best tuned
+           run, with zero tuning. 5% is well above run-to-run jitter on
+           the latency floor and well below any real window mistake. *)
+        let ok = i_tp >= 0.95 *. best in
+        if not ok then regression := true;
+        print_string
+          (Table.render
+             ~headers:[ "window"; "wall (s)"; "tests/s"; "vs best" ]
+             ~rows:
+               (List.map
+                  (fun (w, tp, (s : Pool.stats)) ->
+                    [
+                      string_of_int w;
+                      Printf.sprintf "%.2f" (s.Pool.wall_ms /. 1000.0);
+                      Printf.sprintf "%.0f" tp;
+                      Printf.sprintf "%.2fx" (tp /. best);
+                    ])
+                  statics
+                @ [
+                    [
+                      "adaptive";
+                      Printf.sprintf "%.2f" (astats.Pool.wall_ms /. 1000.0);
+                      Printf.sprintf "%.0f" a_tp;
+                      Printf.sprintf "%.2fx" (a_tp /. best);
+                    ];
+                    [
+                      "inf";
+                      Printf.sprintf "%.2f" (istats.Pool.wall_ms /. 1000.0);
+                      Printf.sprintf "%.0f" i_tp;
+                      Printf.sprintf "%.2fx" (i_tp /. best);
+                    ];
+                  ])
+             ());
+        note "  window=inf: %.2fx best static, %.2fx best adaptive -> %s"
+          (i_tp /. best_static)
+          (if a_tp > 0.0 then i_tp /. a_tp else 0.0)
+          (if ok then "ok" else "REGRESSION");
+        note "";
+        let static_json =
+          String.concat ", "
+            (List.map
+               (fun (w, tp, (s : Pool.stats)) ->
+                 Printf.sprintf
+                   "{\"window\": %d, \"wall_ms\": %.1f, \"throughput\": %.1f}" w
+                   s.Pool.wall_ms tp)
+               statics)
+        in
+        Printf.sprintf
+          "{\"model\": %S, \"dist\": %S, \"static\": [%s], \"adaptive\": \
+           {\"wall_ms\": %.1f, \"throughput\": %.1f}, \"unbounded\": \
+           {\"wall_ms\": %.1f, \"throughput\": %.1f, \"vs_best_static\": %.3f, \
+           \"vs_adaptive\": %.3f, \"ok\": %b}}"
+          name
+          (Target.latency_dist_to_string dist)
+          static_json astats.Pool.wall_ms a_tp istats.Pool.wall_ms i_tp
+          (i_tp /. best_static)
+          (if a_tp > 0.0 then i_tp /. a_tp else 0.0)
+          ok)
+      models
+  in
+  let json =
+    Printf.sprintf "{%s, \"iterations\": %d, \"smoke\": %b, \"models\": [%s]}\n"
+      (bench_header ()) iterations smoke
+      (String.concat ", " model_jsons)
+  in
+  let oc = open_out "BENCH_steal.json" in
+  output_string oc json;
+  close_out oc;
+  note "machine-readable results written to BENCH_steal.json";
+  note "";
+  note "Expected shape: with the merge barrier gone the window only bounds";
+  note "feedback lag, so the untuned unbounded window saturates the latency";
+  note "floor on every model and matches (>= 0.95x) the best tuned run.";
+  if !regression then begin
+    prerr_endline
+      "steal: REGRESSION - the unbounded window fell below the best tuned \
+       window; the barrierless runtime is leaving throughput on the table";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Redundancy engine: incremental interned index vs batch reference    *)
 (* ------------------------------------------------------------------ *)
 

@@ -19,6 +19,7 @@ let experiments ~smoke =
     ("remote", fun () -> Experiments.remote ());
     ("async", fun () -> Experiments.async ());
     ("adapt", fun () -> Experiments.adapt ());
+    ("steal", fun () -> Experiments.steal ~smoke ());
     ("quality", fun () -> Experiments.quality ~smoke ());
     ("replsim", fun () -> Experiments.replsim ~smoke ());
     ("ablation", fun () -> Experiments.ablation ());

@@ -353,7 +353,11 @@ let explore_cmd =
     Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   let batch_arg =
-    let doc = "Candidates kept in flight per dispatch round." in
+    let doc =
+      "Candidates kept in flight per dispatch round. $(b,0) removes the \
+       bound entirely: the work-stealing runtime keeps submitting until \
+       the next sync watermark, so only worker capacity limits overlap."
+    in
     Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
   in
   let manager_arg =
@@ -479,8 +483,15 @@ let explore_cmd =
       prerr_endline "afex: --jobs must be at least 1 (0 needs --manager)";
       exit 2
     end;
-    if batch < 1 then begin
-      prerr_endline "afex: --batch must be at least 1";
+    if batch < 0 then begin
+      prerr_endline "afex: --batch must be at least 1 (or 0 for unbounded)";
+      exit 2
+    end;
+    if batch = 0 && (adaptive || trace_out <> None || replay_trace <> None)
+    then begin
+      prerr_endline
+        "afex: --batch 0 (unbounded window) leaves no window for the \
+         scheduler to control; drop --adaptive/--trace/--replay-trace";
       exit 2
     end;
     if inflight < 1 then begin
@@ -722,7 +733,8 @@ let explore_cmd =
                 ~finally:(fun () -> Afex_cluster.Pool.shutdown pool)
                 (fun () ->
                   Afex_cluster.Pool.session ?scheduler ?checkpoint
-                    ~batch_size:batch ~iterations pool config sub)
+                    ~batch_size:(if batch = 0 then max_int else batch)
+                    ~iterations pool config sub)
             in
             (result, Some (stats, Afex_cluster.Pool.remote_stats pool))
           end
@@ -841,15 +853,13 @@ let explore_cmd =
                  ~resumed:st.Afex_cluster.Checkpoint.was_resumed
                  ~snapshots:st.Afex_cluster.Checkpoint.snapshots_written
                  ~wal_appends:st.Afex_cluster.Checkpoint.wal_appends
-                 ~replayed_batches:st.Afex_cluster.Checkpoint.replayed_batches
                  ~replayed_records:st.Afex_cluster.Checkpoint.replayed_records ());
             Format.printf
               "checkpoint: %d snapshots, %d journal appends%s; provenance in %s@."
               st.Afex_cluster.Checkpoint.snapshots_written
               st.Afex_cluster.Checkpoint.wal_appends
               (if st.Afex_cluster.Checkpoint.was_resumed then
-                 Printf.sprintf " (replayed %d batches, %d journaled outcomes)"
-                   st.Afex_cluster.Checkpoint.replayed_batches
+                 Printf.sprintf " (replayed %d journaled outcomes)"
                    st.Afex_cluster.Checkpoint.replayed_records
                else "")
               path;

@@ -119,9 +119,9 @@ type stats = {
   wakeups : int;
 }
 
-(* Wheel events. [Poll] and [Request_timeout] reference per-batch state
-   (slots); their entries are cancelled when the slot completes, so a
-   stale event can never leak into a later batch. [Backoff_over] is a
+(* Wheel events. [Poll] and [Request_timeout] reference live submissions
+   by tag; their entries are cancelled when the tag completes, so a
+   stale event can never touch a later submission. [Backoff_over] is a
    pure wakeup: it only bounds how long the loop may sleep while a
    manager is gated behind its reconnect backoff. *)
 type event = Poll of int | Request_timeout of int * int | Backoff_over of int
@@ -132,6 +132,10 @@ type remote = {
   mutable seen_failures : int;
 }
 
+(* Submission state is persistent on [t], not per batch: tags flow
+   [injections] -> (started: [local_jobs] or a manager's wire) ->
+   [done_q]. [live] holds every incomplete tag's task — the local
+   fallback needs the thunk long after submission. *)
 type t = {
   mutable inflight : int;
   request_timeout_ms : int;
@@ -139,6 +143,13 @@ type t = {
   wheel : event Timer_wheel.t;
   remotes : remote array;
   mutable rr : int; (* round-robin dispatch cursor *)
+  injections : int Queue.t; (* submitted tags not yet started *)
+  live : (int, task) Hashtbl.t; (* tag -> task until completion *)
+  local_jobs : (int, Afex.Executor.job) Hashtbl.t;
+  poll_timers : (int, event Timer_wheel.entry) Hashtbl.t;
+  req_timers : (int, event Timer_wheel.entry) Hashtbl.t;
+  done_q : (int * (Outcome.t, exn) result) Queue.t;
+  mutable active : int; (* started, not completed *)
   mutable n_local : int;
   mutable n_remote : int;
   mutable n_fallback : int;
@@ -170,6 +181,13 @@ let create ?(remotes = []) ?(request_timeout_ms = 10_000)
              { conn; not_before = 0.0; seen_failures = 0 })
            remotes);
     rr = 0;
+    injections = Queue.create ();
+    live = Hashtbl.create 64;
+    local_jobs = Hashtbl.create 16;
+    poll_timers = Hashtbl.create 16;
+    req_timers = Hashtbl.create 16;
+    done_q = Queue.create ();
+    active = 0;
     n_local = 0;
     n_remote = 0;
     n_fallback = 0;
@@ -179,9 +197,10 @@ let create ?(remotes = []) ?(request_timeout_ms = 10_000)
 
 let inflight t = t.inflight
 
-(* The adaptive scheduler's knob, applied between batches: the dispatch
-   loop reads [t.inflight] on every iteration and each connection's
-   credit caps how much of the window can ride one wire. *)
+(* The adaptive scheduler's knob: the dispatch loop reads [t.inflight]
+   on every iteration and each connection's credit caps how much of the
+   window can ride one wire. Shrinking never preempts a started test —
+   the window narrows as they complete. *)
 let set_inflight t inflight =
   if inflight < 1 then
     invalid_arg "Async_executor.set_inflight: inflight must be positive";
@@ -200,6 +219,8 @@ let stats t =
 let remote_stats t =
   Array.to_list
     (Array.map (fun r -> (Pipelined.name r.conn, Pipelined.stats r.conn)) t.remotes)
+
+let outstanding t = Hashtbl.length t.live
 
 let close t = Array.iter (fun r -> Pipelined.close r.conn) t.remotes
 
@@ -222,215 +243,245 @@ let refresh_gate t ix =
   end
   else if f < r.seen_failures then r.seen_failures <- f
 
-let exec_batch t tasks =
-  let n = Array.length tasks in
-  let results : (Outcome.t, exn) result option array = Array.make n None in
-  let completed = ref 0 and inflight = ref 0 and next = ref 0 in
-  let local_jobs : (int, Afex.Executor.job) Hashtbl.t = Hashtbl.create 16 in
-  let poll_timers : (int, event Timer_wheel.entry) Hashtbl.t = Hashtbl.create 16 in
-  let req_timers : (int, event Timer_wheel.entry) Hashtbl.t = Hashtbl.create 16 in
-  let cancel_timer table slot =
-    match Hashtbl.find_opt table slot with
-    | Some e ->
-        Timer_wheel.cancel t.wheel e;
-        Hashtbl.remove table slot
-    | None -> ()
-  in
-  let set_poll_timer slot at =
-    cancel_timer poll_timers slot;
-    Hashtbl.replace poll_timers slot (Timer_wheel.schedule t.wheel ~at_ms:at (Poll slot))
-  in
-  let complete slot result =
-    match results.(slot) with
-    | Some _ -> ()
-    | None ->
-        results.(slot) <- Some result;
-        incr completed;
-        decr inflight;
-        cancel_timer poll_timers slot;
-        cancel_timer req_timers slot
-  in
-  let start_local slot =
-    t.n_local <- t.n_local + 1;
-    match tasks.(slot).start () with
-    | exception e -> complete slot (Error e)
-    | job -> (
-        match job.Afex.Executor.poll () with
-        | Some outcome -> complete slot (Ok outcome)
-        | exception e -> complete slot (Error e)
-        | None ->
-            Hashtbl.replace local_jobs slot job;
-            let at =
-              match job.Afex.Executor.ready_at_ms () with
-              | Some d -> Float.max d (t.now_ms ())
-              | None -> t.now_ms () +. poll_fallback_ms
-            in
-            set_poll_timer slot at)
-  in
-  let poll_slot slot =
-    match Hashtbl.find_opt local_jobs slot with
-    | None -> ()
-    | Some job -> (
-        match job.Afex.Executor.poll () with
-        | Some outcome ->
-            Hashtbl.remove local_jobs slot;
-            complete slot (Ok outcome)
-        | exception e ->
-            Hashtbl.remove local_jobs slot;
-            complete slot (Error e)
-        | None ->
-            let now = t.now_ms () in
-            let at =
-              match job.Afex.Executor.ready_at_ms () with
-              | Some d when d > now -> d
-              | Some _ | None -> now +. poll_fallback_ms
-            in
-            set_poll_timer slot at)
-  in
-  let fallback slot =
-    cancel_timer req_timers slot;
+let cancel_timer t table tag =
+  match Hashtbl.find_opt table tag with
+  | Some e ->
+      Timer_wheel.cancel t.wheel e;
+      Hashtbl.remove table tag
+  | None -> ()
+
+let set_poll_timer t tag at =
+  cancel_timer t t.poll_timers tag;
+  Hashtbl.replace t.poll_timers tag
+    (Timer_wheel.schedule t.wheel ~at_ms:at (Poll tag))
+
+let complete t tag result =
+  if Hashtbl.mem t.live tag then begin
+    Hashtbl.remove t.live tag;
+    Hashtbl.remove t.local_jobs tag;
+    t.active <- t.active - 1;
+    cancel_timer t t.poll_timers tag;
+    cancel_timer t t.req_timers tag;
+    Queue.push (tag, result) t.done_q
+  end
+
+let start_local t tag =
+  match Hashtbl.find_opt t.live tag with
+  | None -> ()
+  | Some task -> (
+      t.n_local <- t.n_local + 1;
+      match task.start () with
+      | exception e -> complete t tag (Error e)
+      | job -> (
+          match job.Afex.Executor.poll () with
+          | Some outcome -> complete t tag (Ok outcome)
+          | exception e -> complete t tag (Error e)
+          | None ->
+              Hashtbl.replace t.local_jobs tag job;
+              let at =
+                match job.Afex.Executor.ready_at_ms () with
+                | Some d -> Float.max d (t.now_ms ())
+                | None -> t.now_ms () +. poll_fallback_ms
+              in
+              set_poll_timer t tag at))
+
+let poll_slot t tag =
+  match Hashtbl.find_opt t.local_jobs tag with
+  | None -> ()
+  | Some job -> (
+      match job.Afex.Executor.poll () with
+      | Some outcome -> complete t tag (Ok outcome)
+      | exception e -> complete t tag (Error e)
+      | None ->
+          let now = t.now_ms () in
+          let at =
+            match job.Afex.Executor.ready_at_ms () with
+            | Some d when d > now -> d
+            | Some _ | None -> now +. poll_fallback_ms
+          in
+          set_poll_timer t tag at)
+
+let fallback t tag =
+  if Hashtbl.mem t.live tag then begin
+    cancel_timer t t.req_timers tag;
     t.n_fallback <- t.n_fallback + 1;
-    start_local slot
+    start_local t tag
+  end
+
+let absorb_orphans t ix =
+  List.iter (fallback t) (Pipelined.take_orphans t.remotes.(ix).conn)
+
+(* Try to put the test on a manager's wire; [false] = the caller runs
+   it locally. Submit failures drop the connection, orphaning whatever
+   was in flight on it — those fall back here too, immediately. *)
+let try_remote t tag scenario =
+  let m = Array.length t.remotes in
+  let rec go k =
+    if k >= m then false
+    else begin
+      let ix = (t.rr + k) mod m in
+      let r = t.remotes.(ix) in
+      if
+        Pipelined.dispatchable r.conn
+        && Pipelined.has_credit r.conn
+        && t.now_ms () >= r.not_before
+      then begin
+        match Pipelined.submit r.conn ~tag scenario with
+        | Ok () ->
+            t.rr <- (ix + 1) mod m;
+            t.n_remote <- t.n_remote + 1;
+            cancel_timer t t.req_timers tag;
+            Hashtbl.replace t.req_timers tag
+              (Timer_wheel.schedule t.wheel
+                 ~at_ms:(t.now_ms () +. float_of_int t.request_timeout_ms)
+                 (Request_timeout (ix, tag)));
+            true
+        | Error e ->
+            Log.debug (fun m ->
+                m "%s: submit failed: %s" (Pipelined.name r.conn)
+                  (Remote_manager.string_of_error e));
+            refresh_gate t ix;
+            absorb_orphans t ix;
+            go (k + 1)
+      end
+      else go (k + 1)
+    end
   in
-  let absorb_orphans ix =
-    List.iter fallback (Pipelined.take_orphans t.remotes.(ix).conn)
-  in
-  (* Try to put the test on a manager's wire; [false] = the caller runs
-     it locally. Submit failures drop the connection, orphaning whatever
-     was in flight on it — those fall back here too, immediately. *)
-  let try_remote slot scenario =
-    let m = Array.length t.remotes in
-    let rec go k =
-      if k >= m then false
-      else begin
-        let ix = (t.rr + k) mod m in
-        let r = t.remotes.(ix) in
-        if
-          Pipelined.dispatchable r.conn
-          && Pipelined.has_credit r.conn
-          && t.now_ms () >= r.not_before
-        then begin
-          match Pipelined.submit r.conn ~tag:slot scenario with
-          | Ok () ->
-              t.rr <- (ix + 1) mod m;
-              t.n_remote <- t.n_remote + 1;
-              cancel_timer req_timers slot;
-              Hashtbl.replace req_timers slot
-                (Timer_wheel.schedule t.wheel
-                   ~at_ms:(t.now_ms () +. float_of_int t.request_timeout_ms)
-                   (Request_timeout (ix, slot)));
-              true
+  go 0
+
+let dispatch t =
+  while t.active < t.inflight && not (Queue.is_empty t.injections) do
+    let tag = Queue.pop t.injections in
+    match Hashtbl.find_opt t.live tag with
+    | None -> ()
+    | Some task -> (
+        t.active <- t.active + 1;
+        if t.active > t.max_seen then t.max_seen <- t.active;
+        match task.scenario with
+        | Some scenario when Array.length t.remotes > 0 ->
+            if not (try_remote t tag scenario) then begin
+              if
+                Array.exists (fun r -> not (Pipelined.abandoned r.conn)) t.remotes
+              then t.n_fallback <- t.n_fallback + 1;
+              start_local t tag
+            end
+        | Some _ | None -> start_local t tag)
+  done
+
+let handle_event t = function
+  | Poll tag ->
+      Hashtbl.remove t.poll_timers tag;
+      poll_slot t tag
+  | Backoff_over _ -> ()
+  | Request_timeout (ix, tag) ->
+      Hashtbl.remove t.req_timers tag;
+      let r = t.remotes.(ix) in
+      if Hashtbl.mem t.live tag && Pipelined.awaiting r.conn tag then begin
+        (* A straggling manager forfeits everything it holds. *)
+        Log.debug (fun m ->
+            m "%s: request timeout after %dms" (Pipelined.name r.conn)
+              t.request_timeout_ms);
+        Pipelined.fail r.conn;
+        refresh_gate t ix;
+        absorb_orphans t ix
+      end
+
+let drain_remotes t =
+  Array.iteri
+    (fun ix r ->
+      List.iter
+        (fun (tag, result) ->
+          match result with
+          | Ok outcome ->
+              cancel_timer t t.req_timers tag;
+              complete t tag (Ok outcome)
           | Error e ->
               Log.debug (fun m ->
-                  m "%s: submit failed: %s" (Pipelined.name r.conn)
+                  m "%s: test %d failed remotely (%s); re-running locally"
+                    (Pipelined.name r.conn) tag
                     (Remote_manager.string_of_error e));
-              refresh_gate t ix;
-              absorb_orphans ix;
-              go (k + 1)
-        end
-        else go (k + 1)
-      end
-    in
-    go 0
+              fallback t tag)
+        (Pipelined.drain r.conn);
+      refresh_gate t ix;
+      absorb_orphans t ix)
+    t.remotes
+
+(* One event-loop iteration: select over job fds and remote sockets up
+   to [max_wait_s] (bounded by the wheel's next deadline), then drain
+   everything that became ready and refill the dispatch window. *)
+let step t ~max_wait_s =
+  t.n_wakeups <- t.n_wakeups + 1;
+  let now = t.now_ms () in
+  let fd_slots =
+    Hashtbl.fold
+      (fun tag (job : Afex.Executor.job) acc ->
+        match job.Afex.Executor.wait_fd with
+        | Some fd -> (fd, tag) :: acc
+        | None -> acc)
+      t.local_jobs []
   in
-  let dispatch () =
-    while !inflight < t.inflight && !next < n do
-      let slot = !next in
-      incr next;
-      incr inflight;
-      if !inflight > t.max_seen then t.max_seen <- !inflight;
-      match tasks.(slot).scenario with
-      | Some scenario when Array.length t.remotes > 0 ->
-          if not (try_remote slot scenario) then begin
-            if Array.exists (fun r -> not (Pipelined.abandoned r.conn)) t.remotes
-            then t.n_fallback <- t.n_fallback + 1;
-            start_local slot
-          end
-      | Some _ | None -> start_local slot
-    done
+  let remote_fds =
+    Array.fold_left
+      (fun acc r ->
+        match Pipelined.wait_fd r.conn with Some fd -> fd :: acc | None -> acc)
+      [] t.remotes
   in
-  let handle_event = function
-    | Poll slot ->
-        Hashtbl.remove poll_timers slot;
-        poll_slot slot
-    | Backoff_over _ -> ()
-    | Request_timeout (ix, slot) ->
-        Hashtbl.remove req_timers slot;
-        let r = t.remotes.(ix) in
-        if
-          (match results.(slot) with None -> true | Some _ -> false)
-          && Pipelined.awaiting r.conn slot
-        then begin
-          (* A straggling manager forfeits everything it holds. *)
-          Log.debug (fun m ->
-              m "%s: request timeout after %dms" (Pipelined.name r.conn)
-                t.request_timeout_ms);
-          Pipelined.fail r.conn;
-          refresh_gate t ix;
-          absorb_orphans ix
-        end
+  let fds = List.map fst fd_slots @ remote_fds in
+  let timeout_s =
+    match Timer_wheel.next_deadline t.wheel with
+    | Some d -> Float.max 0.0 (Float.min max_wait_s ((d -. now) /. 1000.0))
+    | None -> if fds = [] then 0.0 else Float.min max_wait_s 0.05
   in
-  let drain_remotes () =
-    Array.iteri
-      (fun ix r ->
-        List.iter
-          (fun (slot, result) ->
-            match result with
-            | Ok outcome ->
-                cancel_timer req_timers slot;
-                complete slot (Ok outcome)
-            | Error e ->
-                Log.debug (fun m ->
-                    m "%s: test %d failed remotely (%s); re-running locally"
-                      (Pipelined.name r.conn) slot
-                      (Remote_manager.string_of_error e));
-                fallback slot)
-          (Pipelined.drain r.conn);
-        refresh_gate t ix;
-        absorb_orphans ix)
-      t.remotes
+  let readable =
+    if fds = [] then begin
+      if timeout_s > 0.0 then Unix.sleepf timeout_s;
+      []
+    end
+    else
+      match Unix.select fds [] [] timeout_s with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (EINTR, _, _) -> []
   in
-  dispatch ();
-  while !completed < n do
-    t.n_wakeups <- t.n_wakeups + 1;
-    let now = t.now_ms () in
-    let fd_slots =
-      Hashtbl.fold
-        (fun slot (job : Afex.Executor.job) acc ->
-          match job.Afex.Executor.wait_fd with
-          | Some fd -> (fd, slot) :: acc
-          | None -> acc)
-        local_jobs []
-    in
-    let remote_fds =
-      Array.fold_left
-        (fun acc r ->
-          match Pipelined.wait_fd r.conn with Some fd -> fd :: acc | None -> acc)
-        [] t.remotes
-    in
-    let fds = List.map fst fd_slots @ remote_fds in
-    let timeout_s =
-      match Timer_wheel.next_deadline t.wheel with
-      | Some d -> Float.max 0.0 (Float.min 0.1 ((d -. now) /. 1000.0))
-      | None -> if fds = [] then 0.0 else 0.05
-    in
-    let readable =
-      if fds = [] then begin
-        if timeout_s > 0.0 then Unix.sleepf timeout_s;
-        []
-      end
-      else
-        match Unix.select fds [] [] timeout_s with
-        | r, _, _ -> r
-        | exception Unix.Unix_error (EINTR, _, _) -> []
-    in
-    drain_remotes ();
+  drain_remotes t;
+  List.iter
+    (fun (fd, tag) -> if List.memq fd readable then poll_slot t tag)
+    fd_slots;
+  List.iter (handle_event t) (Timer_wheel.advance t.wheel ~now_ms:(t.now_ms ()));
+  dispatch t
+
+let submit t ~tag task =
+  if Hashtbl.mem t.live tag then
+    invalid_arg (Printf.sprintf "Async_executor.submit: tag %d is already live" tag);
+  Hashtbl.replace t.live tag task;
+  Queue.push tag t.injections;
+  (* Start eagerly — submission overlaps with whatever the caller does
+     next (for the pool: generating the next candidate). *)
+  dispatch t
+
+let poll t ~block =
+  dispatch t;
+  if Queue.is_empty t.done_q && Hashtbl.length t.live > 0 then
+    if block then
+      while Queue.is_empty t.done_q && Hashtbl.length t.live > 0 do
+        step t ~max_wait_s:0.1
+      done
+    else step t ~max_wait_s:0.0;
+  let out = List.of_seq (Queue.to_seq t.done_q) in
+  Queue.clear t.done_q;
+  out
+
+let exec_batch t tasks =
+  if Hashtbl.length t.live > 0 then
+    invalid_arg "Async_executor.exec_batch: submissions already outstanding";
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  Array.iteri (fun tag task -> submit t ~tag task) tasks;
+  let remaining = ref n in
+  while !remaining > 0 do
     List.iter
-      (fun (fd, slot) -> if List.memq fd readable then poll_slot slot)
-      fd_slots;
-    List.iter handle_event (Timer_wheel.advance t.wheel ~now_ms:(t.now_ms ()));
-    dispatch ()
+      (fun (tag, r) ->
+        if results.(tag) = None then decr remaining;
+        results.(tag) <- Some r)
+      (poll t ~block:true)
   done;
-  Hashtbl.iter (fun _ e -> Timer_wheel.cancel t.wheel e) poll_timers;
-  Hashtbl.iter (fun _ e -> Timer_wheel.cancel t.wheel e) req_timers;
   Array.map (function Some r -> r | None -> assert false) results

@@ -15,9 +15,14 @@
     model is the prediction this design chases; [bench async] measures
     the distance).
 
-    Results come back as a slot-indexed array — submission order — so the
-    caller's merge (and therefore the explored history) is independent of
-    completion order and of [inflight] itself. *)
+    The loop is driven incrementally: {!submit} enqueues a tagged test
+    (dispatched eagerly, up to [inflight] concurrent), {!poll} runs the
+    loop and returns whatever completed, in completion order. The
+    {!Runtime} wraps this pair as its event-loop backend and restores
+    submission order in its reorder buffer; {!exec_batch} is the batch
+    convenience built on the same surface, returning a slot-indexed
+    array so a caller's merge stays independent of completion order and
+    of [inflight] itself. *)
 
 (** A monotonic timer wheel: O(1) schedule/cancel, expiry in (deadline,
     scheduling order). Bucketed by coarse ticks; an entry more than a
@@ -90,15 +95,32 @@ val set_inflight : t -> int -> unit
     effect on the next dispatch round; each remote connection's
     per-connection credit ({!Remote_manager.Pipelined.set_credit}) is
     retuned to match, so no single manager can absorb more than the new
-    window. Call between batches.
+    window. Shrinking never preempts a started test.
     @raise Invalid_argument if the window is not positive. *)
 
+val submit : t -> tag:int -> task -> unit
+(** Enqueue one test under the caller's [tag] and dispatch eagerly if
+    the in-flight window has room (remotes preferred — round-robin over
+    dispatchable connections, backoff gates respected — with local
+    fallback on any remote failure). The tag comes back from {!poll}.
+    @raise Invalid_argument if [tag] is already outstanding. *)
+
+val poll : t -> block:bool -> (int * (Afex_injector.Outcome.t, exn) result) list
+(** Run the event loop and return the completions it produced, oldest
+    first, in completion order. With [block = true] the loop runs until
+    at least one completion is available (immediately returning anything
+    already queued); [[]] means nothing was outstanding. With
+    [block = false] the loop gets one zero-timeout iteration. Exceptions
+    raised by a job are captured per-tag, not thrown. *)
+
+val outstanding : t -> int
+(** Submitted tests whose completions {!poll} has not returned yet. *)
+
 val exec_batch : t -> task array -> (Afex_injector.Outcome.t, exn) result array
-(** Run a batch, up to [inflight] tests concurrent, remotes preferred
-    (round-robin over dispatchable connections, backoff gates respected)
-    with local fallback on any remote failure. Returns when every slot
-    has a result, indexed by submission position. Exceptions raised by a
-    job are captured per-slot, not thrown — the caller decides. *)
+(** {!submit} every task under its index, {!poll} until all complete:
+    the batch convenience. Returns results indexed by submission
+    position. @raise Invalid_argument if submissions are already
+    outstanding. *)
 
 val stats : t -> stats
 (** Cumulative across batches. *)

@@ -76,7 +76,13 @@ module Snapshot = struct
     explorer : Explorer.Snapshot.t;
   }
 
-  let header = "afex-checkpoint 2"
+  (* Version 3: the journal became headerless (outcomes keyed by their
+     absolute iteration, no per-batch framing) when the barrierless
+     runtime replaced batch boundaries with reorder-buffer watermarks.
+     Older snapshots describe a batch-scheduled campaign whose replay
+     schedule this code no longer reproduces, so they are rejected by
+     the header rather than resumed wrongly. *)
+  let header = "afex-checkpoint 3"
 
   let sched_to_tokens (s : Scheduler.snapshot) =
     Printf.sprintf "%s %d %d %s %s %d %d %Lx %s" s.Scheduler.s_mode s.s_window
@@ -449,37 +455,24 @@ module Snapshot = struct
           | _ -> err "missing checksum trailer")
 end
 
-(* {2 The write-ahead journal} *)
+(* {2 The write-ahead journal}
 
-type wal_batch = {
-  wb_batch : int;
-  wb_n : int;
-  wb_outcomes : (int * string * Message.run_report) list;
-}
-
-type wal_record =
-  | Header of int * int  (* batch, generated candidates *)
-  | Outcome of int * string * Message.run_report
+   Headerless since checkpoint version 3: one [o <key> <msg>] line per
+   released outcome, keyed by the absolute iteration carried inside the
+   encoded run report. Outcomes are journaled at reorder-buffer release,
+   so a well-formed journal is strictly seq-ascending — no batch framing
+   is needed to replay it. *)
 
 let parse_payload payload =
   let tag, rest = split2 payload in
   match tag with
-  | "b" -> (
-      match String.split_on_char ' ' rest with
-      | [ b; n ] ->
-          let b = nat "journal batch" b and n = nat "journal batch size" n in
-          if n < 1 then bad "journal batch of %d candidates" n;
-          Header (b, n)
-      | _ -> bad "malformed journal batch header")
   | "o" -> (
-      let b, rest = split2 rest in
       let pt, msg = split2 rest in
-      let b = nat "journal batch" b in
       let key = unescape "journal point" pt in
       match Message.decode_from_manager msg with
       | Ok (Message.Scenario_result r) ->
           if r.Message.seq < 1 then bad "journal outcome: bad sequence number";
-          Outcome (b, key, r)
+          (r.Message.seq, key, r)
       | Ok (Message.Manager_error _) -> bad "journal outcome: manager error"
       | Error m -> bad "journal outcome: %s" m)
   | t -> bad "unknown journal record %S" t
@@ -534,62 +527,24 @@ let parse_wal contents =
   | _ -> ());
   (List.rev !records, !valid_end)
 
-let group_wal ~since records =
-  let tbl = Hashtbl.create 8 in
-  let order_rev = ref [] in
-  List.iter
-    (fun r ->
-      let batch = match r with Header (b, _) | Outcome (b, _, _) -> b in
-      if batch >= since then begin
-        let slot =
-          match Hashtbl.find_opt tbl batch with
-          | Some s -> s
-          | None ->
-              let s = (ref None, ref []) in
-              Hashtbl.add tbl batch s;
-              order_rev := batch :: !order_rev;
-              s
-        in
-        match r with
-        | Header (_, n) -> (
-            match !(fst slot) with
-            | Some _ -> bad "duplicate journal header for batch %d" batch
-            | None -> fst slot := Some n)
-        | Outcome (_, key, rep) -> snd slot := (rep.Message.seq, key, rep) :: !(snd slot)
-      end)
-    records;
-  let batches = List.sort compare (List.rev !order_rev) in
-  (match batches with
-  | [] -> ()
-  | first :: _ ->
-      if first <> since then
-        bad "journal starts at batch %d, snapshot ends at %d" first since;
-      List.iteri
-        (fun i b ->
-          if b <> since + i then bad "journal is missing batch %d" (since + i))
-        batches);
-  List.map
-    (fun b ->
-      let nref, outs = Hashtbl.find tbl b in
-      let n =
-        match !nref with
-        | Some n -> n
-        | None -> bad "journal has outcomes for batch %d but no header" b
-      in
-      let outcomes =
-        List.sort (fun (a, _, _) (c, _, _) -> compare a c) (List.rev !outs)
-      in
-      let k = List.length outcomes in
-      if k > n then bad "journal holds %d outcomes for a batch of %d" k n;
-      let rec distinct = function
-        | (a, _, _) :: ((c, _, _) :: _ as rest) ->
-            if a = c then bad "journal repeats iteration %d" a;
-            distinct rest
-        | _ -> ()
-      in
-      distinct outcomes;
-      { wb_batch = b; wb_n = n; wb_outcomes = outcomes })
-    batches
+(* The replayable tail: outcomes with [seq <= since] are stale — they
+   were released before the snapshot and survive only inside the crash
+   window between the snapshot rename and the journal truncate — and
+   are dropped. What remains must be exactly [since+1, since+2, ...]:
+   a gap means a lost append (the journal is broken, refuse), and a
+   duplicate or regression means two writers or replayed corruption. *)
+let wal_tail ~since records =
+  let kept =
+    List.filter (fun (seq, _, _) -> seq > since) records
+  in
+  List.iteri
+    (fun i (seq, _, _) ->
+      let expect = since + 1 + i in
+      if seq = expect then ()
+      else if seq < expect then bad "journal repeats iteration %d" seq
+      else bad "journal is missing iteration %d" expect)
+    kept;
+  kept
 
 (* {2 The checkpoint handle} *)
 
@@ -606,9 +561,8 @@ type t = {
   mutable appends : int;
   mutable snapshots : int;
   mutable last_snapshot_iterations : int;
-  mutable replay : wal_batch list;
+  mutable replay : (int * string * Message.run_report) list;
   was_resumed : bool;
-  n_replayed_batches : int;
   n_replayed_records : int;
   loaded : Snapshot.t option;
 }
@@ -642,8 +596,7 @@ let start ?(hooks = no_hooks) ?(every = 500) ~dir meta =
           {
             cp_dir = dir; every; cp_meta = meta; hooks; wal_fd; appends = 0;
             snapshots = 0; last_snapshot_iterations = 0; replay = [];
-            was_resumed = false; n_replayed_batches = 0; n_replayed_records = 0;
-            loaded = None;
+            was_resumed = false; n_replayed_records = 0; loaded = None;
           }
       end
     with Unix.Unix_error (e, fn, arg) ->
@@ -694,18 +647,16 @@ let resume ?(hooks = no_hooks) ?(every = 500) ~dir meta =
       let* replay, valid_end =
         try
           let records, valid_end = parse_wal contents in
-          Ok (group_wal ~since:snap.Snapshot.batches records, valid_end)
+          let since = snap.Snapshot.explorer.Explorer.Snapshot.iterations in
+          Ok (wal_tail ~since records, valid_end)
         with Bad m -> Error ("checkpoint: " ^ m)
       in
       let wal_fd =
         Unix.openfile wal [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
       in
       Unix.ftruncate wal_fd valid_end;
-      let n_replayed_records =
-        List.fold_left (fun n b -> n + List.length b.wb_outcomes) 0 replay
-      in
       Log.info (fun f ->
-          f "resuming %s: %d iterations snapshotted, %d journaled batches to replay"
+          f "resuming %s: %d iterations snapshotted, %d journaled outcomes to replay"
             dir snap.Snapshot.explorer.Explorer.Snapshot.iterations
             (List.length replay));
       Ok
@@ -714,8 +665,8 @@ let resume ?(hooks = no_hooks) ?(every = 500) ~dir meta =
           snapshots = 0;
           last_snapshot_iterations =
             snap.Snapshot.explorer.Explorer.Snapshot.iterations;
-          replay; was_resumed = true; n_replayed_batches = List.length replay;
-          n_replayed_records; loaded = Some snap;
+          replay; was_resumed = true;
+          n_replayed_records = List.length replay; loaded = Some snap;
         }
     with
     | Unix.Unix_error (e, fn, arg) ->
@@ -731,9 +682,9 @@ let loaded_snapshot t = t.loaded
 let next_replay t =
   match t.replay with
   | [] -> None
-  | b :: rest ->
+  | r :: rest ->
       t.replay <- rest;
-      Some b
+      Some r
 
 let replay_pending t = t.replay <> []
 
@@ -748,14 +699,12 @@ let append t payload =
   t.appends <- t.appends + 1;
   t.hooks.on_append t.appends
 
-let append_batch t ~batch ~n = append t (Printf.sprintf "b %d %d" batch n)
-
-let append_outcome t ~batch ~point_key ~seq outcome =
+let append_outcome t ~point_key ~seq outcome =
   let msg =
     Message.encode_from_manager
       (Message.Scenario_result (Message.report_of_outcome ~seq outcome))
   in
-  append t (Printf.sprintf "o %d %s %s" batch (Message.escape point_key) msg)
+  append t (Printf.sprintf "o %s %s" (Message.escape point_key) msg)
 
 let write_snapshot t ~iterations snap =
   let text = Snapshot.encode snap in
@@ -773,7 +722,6 @@ type stats = {
   was_resumed : bool;
   snapshots_written : int;
   wal_appends : int;
-  replayed_batches : int;
   replayed_records : int;
 }
 
@@ -782,7 +730,6 @@ let stats (t : t) =
     was_resumed = t.was_resumed;
     snapshots_written = t.snapshots;
     wal_appends = t.appends;
-    replayed_batches = t.n_replayed_batches;
     replayed_records = t.n_replayed_records;
   }
 

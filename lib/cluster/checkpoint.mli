@@ -3,21 +3,24 @@
 
     A checkpoint directory holds two files:
 
-    - [snapshot.afex] — the full explorer/scheduler/pool state at a batch
-      boundary, written atomically (temp file + [rename]) in a versioned,
-      checksummed, line-oriented codec built from the {!Message} field
-      codecs and the {!Transport} CRC discipline.
-    - [wal.log] — one checksummed line per batch header and per reported
-      outcome since the last snapshot, appended {e before} progress is
-      considered durable.
+    - [snapshot.afex] — the full explorer/scheduler/pool state at a
+      quiescent reorder-buffer watermark (released = submitted), written
+      atomically (temp file + [rename]) in a versioned, checksummed,
+      line-oriented codec built from the {!Message} field codecs and the
+      {!Transport} CRC discipline.
+    - [wal.log] — one checksummed line per released outcome since the
+      last snapshot, appended {e before} progress is considered durable.
+      Outcomes release in submission order, so the journal is strictly
+      ascending in the absolute iteration each line carries; no batch
+      framing is needed.
 
     Kill the process anywhere — mid-append, mid-snapshot, between the
     snapshot [rename] and the journal truncation — and [--resume]
-    reconstructs the exact state: the snapshot restores the last barrier,
-    the journal tail replays the outcomes reported after it, and the
-    deterministic explorer regenerates everything else. The final export
-    is byte-identical to the uninterrupted run's (proven in CI by a
-    kill -9 harness).
+    reconstructs the exact state: the snapshot restores the last
+    watermark, the journal tail replays the outcomes released after it,
+    and the deterministic explorer regenerates everything else. The
+    final export is byte-identical to the uninterrupted run's (proven in
+    CI by a kill -9 harness).
 
     Durability is against process death, not media loss: files are
     flushed to the OS on every append but not fsynced. *)
@@ -28,14 +31,14 @@ module Snapshot : sig
         (** campaign identity: every flag that shapes the search, checked
             on resume so a snapshot cannot silently continue under a
             different configuration *)
-    batches : int;  (** completed batches — the next batch's index *)
+    batches : int;  (** completed scheduler rounds *)
     master_state : int64;  (** the pool's master RNG position *)
     scheduler : Scheduler.snapshot option;
     explorer : Afex.Explorer.Snapshot.t;
   }
 
   val encode : t -> string
-  (** Versioned ([afex-checkpoint 1]), checksummed, line-oriented; the
+  (** Versioned ([afex-checkpoint 3]), checksummed, line-oriented; the
       exact bytes written to [snapshot.afex]. Encoding is a pure function
       of the snapshot, so equal states produce equal files. *)
 
@@ -43,16 +46,6 @@ module Snapshot : sig
   (** Total inverse of {!encode}: truncation, bit flips, unknown
       versions and structural damage all return [Error], never raise. *)
 end
-
-type wal_batch = {
-  wb_batch : int;  (** absolute batch index *)
-  wb_n : int;  (** candidates the batch generated *)
-  wb_outcomes : (int * string * Message.run_report) list;
-      (** journaled outcomes in submission order: absolute iteration
-          number, the candidate's point key, and the measured report.
-          May be shorter than [wb_n] — the crash interrupted the batch —
-          in which case the resumed run re-executes the tail. *)
-}
 
 type hooks = {
   on_append : int -> unit;
@@ -82,10 +75,11 @@ val resume :
   (t, string) result
 (** Load [dir]'s snapshot, verify the campaign metadata matches, parse
     the journal tail (dropping at most one torn final line, rejecting
-    any other corruption), and queue the journaled batches for replay.
-    Journal entries for batches the snapshot already covers — possible
-    when the crash hit between the snapshot rename and the journal
-    truncation — are discarded. *)
+    any other corruption), and queue the journaled outcomes for replay.
+    Journal entries for iterations the snapshot already covers —
+    possible when the crash hit between the snapshot rename and the
+    journal truncation — are discarded; what remains must continue
+    contiguously from the snapshot's iteration count. *)
 
 val resumed : t -> bool
 val dir : t -> string
@@ -94,23 +88,21 @@ val meta : t -> (string * string) list
 val loaded_snapshot : t -> Snapshot.t option
 (** The snapshot a {!resume} loaded; [None] after {!start}. *)
 
-val next_replay : t -> wal_batch option
-(** Pop the next journaled batch to replay, oldest first. *)
+val next_replay : t -> (int * string * Message.run_report) option
+(** Pop the next journaled outcome to replay, oldest first: the
+    absolute iteration number, the candidate's point key, and the
+    measured report. *)
 
 val replay_pending : t -> bool
 
 val due : t -> iterations:int -> bool
 (** Whether the cadence calls for a snapshot — never while journaled
-    batches are still waiting to replay (a snapshot truncates the
+    outcomes are still waiting to replay (a snapshot truncates the
     journal, which would drop them). *)
 
-val append_batch : t -> batch:int -> n:int -> unit
-(** Journal a batch header: batch [batch] generated [n] candidates. *)
-
 val append_outcome :
-  t -> batch:int -> point_key:string -> seq:int -> Afex_injector.Outcome.t ->
-  unit
-(** Journal one reported outcome ([seq] is the absolute iteration
+  t -> point_key:string -> seq:int -> Afex_injector.Outcome.t -> unit
+(** Journal one released outcome ([seq] is the absolute iteration
     number). One checksummed line, one [write]. *)
 
 val write_snapshot : t -> iterations:int -> Snapshot.t -> unit
@@ -120,7 +112,6 @@ type stats = {
   was_resumed : bool;
   snapshots_written : int;
   wal_appends : int;
-  replayed_batches : int;
   replayed_records : int;  (** journaled outcomes applied without re-execution *)
 }
 

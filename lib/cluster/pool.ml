@@ -29,295 +29,54 @@ let explorer_executor = function
         ~description:a.Afex.Executor.async_description (fun _ ->
           invalid_arg "Pool: an async executor only runs on the pool")
 
-(* ------------------------------------------------------------------ *)
-(* Bounded work queue (multi-producer, multi-consumer)                 *)
-(* ------------------------------------------------------------------ *)
-
-module Bqueue : sig
-  type 'a t
-
-  val create : int -> 'a t
-  val push : 'a t -> 'a -> unit
-  val pop : 'a t -> 'a option
-  (** Blocks until an element or the queue is closed ([None]). *)
-
-  val close : 'a t -> unit
-end = struct
-  type 'a t = {
-    slots : 'a option array;  (* ring buffer *)
-    mutable head : int;
-    mutable length : int;
-    mutable closed : bool;
-    lock : Mutex.t;
-    not_empty : Condition.t;
-    not_full : Condition.t;
-  }
-
-  let create capacity =
-    if capacity < 1 then invalid_arg "Pool: queue capacity must be positive";
-    {
-      slots = Array.make capacity None;
-      head = 0;
-      length = 0;
-      closed = false;
-      lock = Mutex.create ();
-      not_empty = Condition.create ();
-      not_full = Condition.create ();
-    }
-
-  let push t x =
-    Mutex.lock t.lock;
-    let cap = Array.length t.slots in
-    while t.length = cap && not t.closed do
-      Condition.wait t.not_full t.lock
-    done;
-    if t.closed then begin
-      Mutex.unlock t.lock;
-      invalid_arg "Pool: push on a closed queue"
-    end
-    else begin
-      t.slots.((t.head + t.length) mod cap) <- Some x;
-      t.length <- t.length + 1;
-      Condition.signal t.not_empty;
-      Mutex.unlock t.lock
-    end
-
-  let pop t =
-    Mutex.lock t.lock;
-    while t.length = 0 && not t.closed do
-      Condition.wait t.not_empty t.lock
-    done;
-    if t.length = 0 then begin
-      Mutex.unlock t.lock;
-      None
-    end
-    else begin
-      let x = t.slots.(t.head) in
-      t.slots.(t.head) <- None;
-      t.head <- (t.head + 1) mod Array.length t.slots;
-      t.length <- t.length - 1;
-      Condition.signal t.not_full;
-      Mutex.unlock t.lock;
-      x
-    end
-
-  let close t =
-    Mutex.lock t.lock;
-    t.closed <- true;
-    Condition.broadcast t.not_empty;
-    Condition.broadcast t.not_full;
-    Mutex.unlock t.lock
-end
-
-(* ------------------------------------------------------------------ *)
-(* Tasks and batches                                                   *)
-(* ------------------------------------------------------------------ *)
-
-(* Each batch owns its result slots; workers write only their own slot,
-   under the batch lock (which also publishes the write to the explorer
-   domain). *)
-type batch = {
-  results : (Outcome.t, exn) result option array;
-  lock : Mutex.t;
-  finished : Condition.t;
-  mutable completed : int;
-}
-
-(* One candidate's executable payload: [run] is the synchronous form the
-   Domain workers (and the inline path) use; [start] is the nonblocking
-   form the async event loop multiplexes. Exactly one of them runs. *)
-type work = { run : unit -> Outcome.t; start : unit -> Afex.Executor.job }
-
-(* [scenario] is carried alongside the local thunk so a remote worker can
-   ship the task over the wire; [None] (seeded executors, whose RNG
-   closure cannot cross the wire) forces local execution everywhere. *)
-type task = {
-  slot : int;
-  scenario : Scenario.t option;
-  thunk : unit -> Outcome.t;
-  batch : batch;
-}
-
-let complete { slot; batch; _ } result =
-  Mutex.lock batch.lock;
-  batch.results.(slot) <- Some result;
-  batch.completed <- batch.completed + 1;
-  if batch.completed = Array.length batch.results then
-    Condition.signal batch.finished;
-  Mutex.unlock batch.lock
-
-let run_task task = complete task (try Ok (task.thunk ()) with e -> Error e)
-
 type t = {
   jobs : int;
   executor : executor;
-  queue : task Bqueue.t option;  (* [None]: jobs = 1, execute inline *)
-  async : Async_executor.t option;
-      (* [Some _]: single-domain event-loop mode ([inflight > 1] or an
-         [Async] executor); [queue] and [domains] are unused. *)
-  domains : unit Domain.t array;
-  remotes : Remote_manager.t list;
-  remote_runs : int Atomic.t;
-  remote_fallbacks : int Atomic.t;
+  runtime : Runtime.t;
   mutable shut : bool;
 }
-
-let rec worker queue =
-  match Bqueue.pop queue with
-  | None -> ()
-  | Some task ->
-      run_task task;
-      worker queue
-
-(* A remote worker drains the same queue as the local ones, but ships each
-   scenario to its manager first. Any remote failure — dead manager,
-   exhausted retry budget, byzantine reply — falls back to the task's
-   local thunk, so a bad manager costs throughput, never correctness. *)
-let rec remote_worker ~runs ~fallbacks rm queue =
-  match Bqueue.pop queue with
-  | None -> Remote_manager.close rm
-  | Some task ->
-      (match task.scenario with
-      | Some scenario -> (
-          match Remote_manager.run_scenario rm scenario with
-          | Ok outcome ->
-              Atomic.incr runs;
-              complete task (Ok outcome)
-          | Error _ ->
-              Atomic.incr fallbacks;
-              run_task task)
-      | None -> run_task task);
-      remote_worker ~runs ~fallbacks rm queue
 
 let create ?(remotes = []) ?(inflight = 1) ?request_timeout_ms ~jobs executor =
   if jobs < 0 then invalid_arg "Pool.create: jobs must be non-negative";
   if inflight < 1 then invalid_arg "Pool.create: inflight must be positive";
-  let remote_runs = Atomic.make 0 and remote_fallbacks = Atomic.make 0 in
   let async_mode =
     inflight > 1 || (match executor with Async _ -> true | Pure _ | Seeded _ -> false)
   in
-  if async_mode then begin
-    (* Event-loop concurrency is orthogonal to Domain parallelism; mixing
-       them would make the batch schedule depend on both, for no
-       benefit — an async target waits, it doesn't compute. *)
-    if jobs > 1 then
-      invalid_arg
-        "Pool.create: inflight > 1 (or an Async executor) multiplexes on a \
-         single domain; use jobs <= 1";
-    let async =
-      Async_executor.create ~remotes ?request_timeout_ms ~inflight
-        ~total_blocks:(total_blocks executor) ()
-    in
-    {
-      jobs;
-      executor;
-      queue = None;
-      async = Some async;
-      domains = [||];
-      remotes = [];
-      remote_runs;
-      remote_fallbacks;
-      shut = false;
-    }
-  end
-  else if jobs = 0 && remotes = [] then
-    invalid_arg "Pool.create: need at least one worker (jobs or remotes)"
-  else if jobs = 1 && remotes = [] then
-    {
-      jobs;
-      executor;
-      queue = None;
-      async = None;
-      domains = [||];
-      remotes = [];
-      remote_runs;
-      remote_fallbacks;
-      shut = false;
-    }
-  else begin
-    let rms =
-      List.map
-        (fun spec ->
-          Remote_manager.create spec ~total_blocks:(total_blocks executor))
-        remotes
-    in
-    let workers = jobs + List.length rms in
-    let queue = Bqueue.create (2 * workers) in
-    let local = Array.init jobs (fun _ -> Domain.spawn (fun () -> worker queue)) in
-    let remote =
-      Array.of_list
-        (List.map
-           (fun rm ->
-             Domain.spawn (fun () ->
-                 remote_worker ~runs:remote_runs ~fallbacks:remote_fallbacks rm
-                   queue))
-           rms)
-    in
-    {
-      jobs;
-      executor;
-      queue = Some queue;
-      async = None;
-      domains = Array.append local remote;
-      remotes = rms;
-      remote_runs;
-      remote_fallbacks;
-      shut = false;
-    }
-  end
+  let runtime =
+    if async_mode then begin
+      (* Event-loop concurrency is orthogonal to Domain parallelism; mixing
+         them would make the schedule depend on both, for no benefit — an
+         async target waits, it doesn't compute. *)
+      if jobs > 1 then
+        invalid_arg
+          "Pool.create: inflight > 1 (or an Async executor) multiplexes on a \
+           single domain; use jobs <= 1";
+      Runtime.event_loop
+        (Async_executor.create ~remotes ?request_timeout_ms ~inflight
+           ~total_blocks:(total_blocks executor) ())
+    end
+    else if jobs = 0 && remotes = [] then
+      invalid_arg "Pool.create: need at least one worker (jobs or remotes)"
+    else if jobs = 1 && remotes = [] then Runtime.inline ()
+    else Runtime.domains ~remotes ~total_blocks:(total_blocks executor) ~jobs ()
+  in
+  { jobs; executor; runtime; shut = false }
 
 let jobs t = t.jobs
-let inflight t = match t.async with Some a -> Async_executor.inflight a | None -> 1
-let async_stats t = Option.map Async_executor.stats t.async
 
-let remote_stats t =
-  match t.async with
-  | Some a -> Async_executor.remote_stats a
-  | None ->
-      List.map (fun rm -> (Remote_manager.name rm, Remote_manager.stats rm)) t.remotes
+let inflight t =
+  match Runtime.async t.runtime with
+  | Some a -> Async_executor.inflight a
+  | None -> 1
+
+let async_stats t = Option.map Async_executor.stats (Runtime.async t.runtime)
+let remote_stats t = Runtime.remote_stats t.runtime
 
 let shutdown t =
   if not t.shut then begin
     t.shut <- true;
-    Option.iter Bqueue.close t.queue;
-    Array.iter Domain.join t.domains;
-    Option.iter Async_executor.close t.async
+    Runtime.shutdown t.runtime
   end
-
-let exec_batch t tasks =
-  let n = Array.length tasks in
-  match t.async with
-  | Some async ->
-      Async_executor.exec_batch async
-        (Array.map
-           (fun (scenario, work) ->
-             { Async_executor.scenario; start = work.start })
-           tasks)
-  | None -> (
-      match t.queue with
-      | None ->
-          Array.map
-            (fun (_, work) -> try Ok (work.run ()) with e -> Error e)
-            tasks
-      | Some queue ->
-          let batch =
-            {
-              results = Array.make n None;
-              lock = Mutex.create ();
-              finished = Condition.create ();
-              completed = 0;
-            }
-          in
-          Array.iteri
-            (fun slot (scenario, work) ->
-              Bqueue.push queue { slot; scenario; thunk = work.run; batch })
-            tasks;
-          Mutex.lock batch.lock;
-          while batch.completed < n do
-            Condition.wait batch.finished batch.lock
-          done;
-          Mutex.unlock batch.lock;
-          Array.map (function Some r -> r | None -> assert false) batch.results)
 
 (* ------------------------------------------------------------------ *)
 (* The session loop                                                    *)
@@ -332,17 +91,29 @@ type stats = {
   wall_ms : float;
 }
 
-(* Where one candidate's outcome comes from. *)
-type source =
-  | From_worker of int  (* slot in this batch's thunk array *)
-  | From_cache of Outcome.t
-  | Duplicate of int  (* earlier submission index with the same scenario *)
-  | From_journal of int * Outcome.t
-      (* absolute iteration + outcome replayed from the checkpoint WAL *)
+(* What the reorder buffer holds for one submission: the outcome itself
+   when it is known (worker completion, memo-cache hit, journal replay),
+   or a deferred duplicate that resolves against the cache at release
+   time — its original is an earlier submission, so it has released (and
+   populated the cache) by then. *)
+type slot =
+  | Ready of (Outcome.t, exn) result
+  | Dup of string  (* the duplicated scenario's cache key *)
+
+(* Per-submission bookkeeping the release path needs, keyed by sequence
+   number and dropped at release. *)
+type meta = {
+  m_proposal : Afex.Mutator.proposal;
+  m_skey : string option;  (* memo-cache key, when memoizing *)
+  m_journaled : bool;  (* replayed from the WAL: don't re-journal *)
+  m_worker : bool;  (* occupies a runtime worker until it completes *)
+}
 
 let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
-    ?(batch_size = 32) ?(memoize = true) ~iterations t config sub =
+    ?(batch_size = 32) ?(memoize = true) ?(sync_every = 512) ~iterations t
+    config sub =
   if batch_size < 1 then invalid_arg "Pool.session: batch_size must be positive";
+  if sync_every < 1 then invalid_arg "Pool.session: sync_every must be positive";
   (match (stop, checkpoint) with
   | Some _, Some _ ->
       invalid_arg
@@ -364,17 +135,17 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
         | Ok e -> e
         | Error m -> failwith ("Pool.session: cannot resume: " ^ m))
   in
-  (* Per-batch RNG streams split off a session master: stream identity
-     depends only on (seed, batch index, submission index), never on the
-     worker that happens to run the task. *)
+  (* Seeded executors get one RNG stream per candidate, split off the
+     session master at submission time: stream identity depends only on
+     (seed, submission index), never on the worker that runs the task or
+     the order completions arrive. *)
   let master =
     match resume_snap with
     | None -> Rng.create config.Afex.Config.seed
     | Some snap -> Rng.of_state snap.Checkpoint.Snapshot.master_state
   in
-  (* Absolute batch index across crashes — a resumed run keeps counting
-     where the snapshot stopped, so journal entries line up. *)
-  let abs_batch =
+  (* Completed scheduler rounds, absolute across crashes. *)
+  let rounds =
     ref (match resume_snap with None -> 0 | Some s -> s.Checkpoint.Snapshot.batches)
   in
   let write_snapshot () =
@@ -385,14 +156,14 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
           ~iterations:(Afex.Explorer.iterations explorer)
           {
             Checkpoint.Snapshot.meta = Checkpoint.meta cp;
-            batches = !abs_batch;
+            batches = !rounds;
             master_state = Rng.state master;
             scheduler = Option.map Scheduler.snapshot scheduler;
             explorer = Afex.Explorer.capture explorer;
           }
   in
   (* A fresh checkpointed campaign writes its base snapshot before any
-     batch, so a crash before the first cadence snapshot still resumes
+     work, so a crash before the first cadence snapshot still resumes
      from iteration zero instead of refusing. *)
   (match checkpoint with
   | Some cp when not (Checkpoint.resumed cp) -> write_snapshot ()
@@ -402,15 +173,9 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
     memoize
     && (match t.executor with Pure _ | Async _ -> true | Seeded _ -> false)
   in
-  let executed = ref 0 and cache_hits = ref 0 and batches = ref 0 in
-  let remote_counters () =
-    match t.async with
-    | Some a ->
-        let s = Async_executor.stats a in
-        (s.Async_executor.remote_runs, s.Async_executor.remote_fallbacks)
-    | None -> (Atomic.get t.remote_runs, Atomic.get t.remote_fallbacks)
-  in
-  let remote_runs0, remote_fallbacks0 = remote_counters () in
+  let executed = ref 0 and cache_hits = ref 0 in
+  let remote_runs0 = Runtime.remote_runs t.runtime
+  and remote_fallbacks0 = Runtime.remote_fallbacks t.runtime in
   (* Stop-target accounting, as in Session.run: distinct points only. *)
   let matched = Hashtbl.create 16 and stop_iteration = ref None in
   let target_met () =
@@ -423,240 +188,304 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
     | Some budget -> Afex.Explorer.simulated_ms explorer >= budget
     | None -> false
   in
-  let issued = ref (Afex.Explorer.iterations explorer) and exhausted = ref false in
-  let rec loop () =
-    (* Journaled batches replay unconditionally: they were already part
-       of the campaign, so stop conditions only apply to new work. *)
-    let replay =
-      match checkpoint with Some cp -> Checkpoint.next_replay cp | None -> None
-    in
-    if
-      replay = None
-      && (!issued >= iterations || !exhausted || target_met ()
-         || time_exhausted ())
-    then ()
-    else begin
-      (* The scheduler owns the window when present; [batch_size] is the
-         frozen default otherwise. *)
-      let window =
-        match scheduler with Some s -> Scheduler.window s | None -> batch_size
-      in
-      let batch_started = Unix.gettimeofday () in
-      let want =
-        match replay with
-        | Some rb -> rb.Checkpoint.wb_n
-        | None -> min window (iterations - !issued)
-      in
-      let batch_rng = Rng.split master in
-      let rev_proposals = ref [] and count = ref 0 in
-      while !count < want && not !exhausted do
+  (* The deterministic sliding-window schedule. [submitted] and
+     [released] are absolute iteration counts; the driver submits while
+     the window has room and otherwise releases the head of line, so the
+     interleaving of Explorer.next and Explorer.report — and with it the
+     whole explored history — is a pure function of (seed, window
+     sequence, iterations), never of completion timing, [jobs] or
+     [inflight]. *)
+  let base = Afex.Explorer.iterations explorer in
+  let submitted = ref base and released = ref base in
+  let exhausted = ref false in
+  let reorder : slot Runtime.Reorder.t =
+    Runtime.Reorder.create ~next:(base + 1) ()
+  in
+  let metas : (int, meta) Hashtbl.t = Hashtbl.create 64 in
+  (* Scenario keys with a fresh execution submitted but not yet
+     released: a later identical candidate piggybacks on it as a [Dup]
+     instead of occupying a worker. *)
+  let inflight_keys : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Sync watermarks: every [sync_every] releases, the schedule refuses
+     to submit past the boundary until everything before it has
+     released, so the window drains to quiescence. The drain is part of
+     the schedule itself — it happens whether or not a checkpoint is
+     armed — so snapshots (which need quiescence: Explorer snapshots
+     refuse with candidates in flight) never perturb the explored
+     history relative to an uncheckpointed run. *)
+  let next_sync = ref (((base / sync_every) + 1) * sync_every) in
+  (* Scheduler rounds: one controller period per [window] releases. *)
+  let window () =
+    match scheduler with Some s -> Scheduler.window s | None -> batch_size
+  in
+  let round_window = ref (window ()) in
+  let round_releases = ref 0 and round_executed = ref 0 in
+  let gen_acc = ref 0.0 and stall_acc = ref 0.0 and merge_acc = ref 0.0 in
+  let observed_rounds = ref 0 in
+  (match scheduler with
+  | Some s -> Runtime.set_window t.runtime (Scheduler.window s)
+  | None -> ());
+  let finish_round () =
+    incr observed_rounds;
+    incr rounds;
+    (match scheduler with
+    | Some s ->
+        (* exec_ms is the head-of-line wait: the only time the explorer
+           spent blocked on workers. It doubles as the merge stall — the
+           residual barrier cost of in-order release. *)
+        Scheduler.observe s ~stall_ms:!stall_acc ~gen_ms:!gen_acc
+          ~exec_ms:!stall_acc ~merge_ms:!merge_acc ~executed:!round_executed
+          ~merged:!round_releases;
+        Runtime.set_window t.runtime (Scheduler.window s)
+    | None -> ());
+    round_releases := 0;
+    round_executed := 0;
+    gen_acc := 0.0;
+    stall_acc := 0.0;
+    merge_acc := 0.0;
+    round_window := window ()
+  in
+  let replay_pending () =
+    match checkpoint with Some cp -> Checkpoint.replay_pending cp | None -> false
+  in
+  let can_submit () =
+    replay_pending ()
+    || (not !exhausted)
+       && !submitted < iterations
+       && (not (target_met ()))
+       && not (time_exhausted ())
+  in
+  let seeded_rng () =
+    match t.executor with
+    | Seeded _ -> Some (Rng.split master)
+    | Pure _ | Async _ -> None
+  in
+  (* One submission: consume a journaled outcome if any is queued for
+     replay, otherwise generate a fresh candidate and decide — in
+     submission order, on the explorer thread — how it is satisfied. *)
+  let submit_one () =
+    let t0 = Unix.gettimeofday () in
+    (match
+       match checkpoint with Some cp -> Checkpoint.next_replay cp | None -> None
+     with
+    | Some (seq, key, report) -> (
+        (* The explorer is deterministic, so it must regenerate exactly
+           the candidate the journal recorded; a mismatch means the
+           checkpoint belongs to a different campaign (and slipped past
+           the metadata check) or the journal is corrupt. *)
+        match Afex.Explorer.next explorer with
+        | None ->
+            failwith "Pool: journal replays beyond the explorer's candidates"
+        | Some p ->
+            let abs = !submitted + 1 in
+            if seq <> abs then
+              failwith
+                (Printf.sprintf
+                   "Pool: journal replays iteration %d where %d was expected"
+                   seq abs);
+            let pkey = Point.key p.Afex.Mutator.point in
+            if key <> pkey then
+              failwith
+                (Printf.sprintf
+                   "Pool: journaled outcome %d is for point %s, but the \
+                    explorer regenerated %s"
+                   seq key pkey);
+            let scenario = Afex.Explorer.scenario_for explorer p in
+            ignore (seeded_rng ());
+            let outcome =
+              match
+                Message.outcome_of_report
+                  ~total_blocks:(total_blocks t.executor) report
+              with
+              | Ok o -> o
+              | Error m ->
+                  failwith ("Pool: journaled outcome does not decode: " ^ m)
+            in
+            let skey =
+              if memoize then Some (Scenario.to_string scenario) else None
+            in
+            Hashtbl.replace metas abs
+              { m_proposal = p; m_skey = skey; m_journaled = true;
+                m_worker = false };
+            Runtime.Reorder.offer reorder ~seq:abs (Ready (Ok outcome));
+            submitted := abs)
+    | None -> (
         match Afex.Explorer.next explorer with
         | None -> exhausted := true
         | Some p ->
-            incr count;
-            rev_proposals := p :: !rev_proposals
-      done;
-      let proposals = Array.of_list (List.rev !rev_proposals) in
-      let n = Array.length proposals in
-      if n > 0 then begin
-        incr batches;
-        issued := !issued + n;
-        let this_batch = !abs_batch in
-        incr abs_batch;
-        (* A replayed batch must regenerate exactly what the journal
-           recorded — the explorer is deterministic, so a mismatch means
-           the checkpoint belongs to a different campaign (and slipped
-           past the metadata check) or the journal is corrupt. *)
-        let journal =
-          match replay with
-          | Some rb ->
-              if rb.Checkpoint.wb_batch <> this_batch then
-                failwith
-                  (Printf.sprintf
-                     "Pool: journal replays batch %d where %d was expected"
-                     rb.Checkpoint.wb_batch this_batch);
-              if n <> rb.Checkpoint.wb_n then
-                failwith
-                  "Pool: the explorer regenerated a different batch than the \
-                   journal records";
-              Array.of_list rb.Checkpoint.wb_outcomes
-          | None ->
-              (match checkpoint with
-              | Some cp -> Checkpoint.append_batch cp ~batch:this_batch ~n
-              | None -> ());
-              [||]
-        in
-        let journaled = Array.length journal in
-        let scenarios =
-          Array.map (Afex.Explorer.scenario_for explorer) proposals
-        in
-        let rngs =
-          match t.executor with
-          | Seeded _ -> Rng.split_n batch_rng n
-          | Pure _ | Async _ -> [||]
-        in
-        (* Decide, in submission order, how each candidate is satisfied:
-           fresh worker run, memo-cache hit, or duplicate of an earlier
-           in-batch submission. *)
-        let inflight : (string, int) Hashtbl.t = Hashtbl.create 16 in
-        let rev_tasks = ref [] and n_tasks = ref 0 in
-        let fresh scenario work =
-          let slot = !n_tasks in
-          incr n_tasks;
-          rev_tasks := (scenario, work) :: !rev_tasks;
-          From_worker slot
-        in
-        (* A synchronous thunk as nonblocking work: [start] just runs it
-           to completion, so the async loop degenerates gracefully. *)
-        let sync_work thunk =
-          {
-            run = thunk;
-            start = (fun () -> Afex.Executor.job_done (thunk ()));
-          }
-        in
-        let memoized i work =
-          let scenario = Some scenarios.(i) in
-          if not memoize then fresh scenario work
-          else begin
-            let key = Scenario.to_string scenarios.(i) in
-            match Hashtbl.find_opt cache key with
-            | Some outcome ->
-                incr cache_hits;
-                From_cache outcome
-            | None -> (
-                match Hashtbl.find_opt inflight key with
-                | Some j ->
-                    incr cache_hits;
-                    Duplicate j
-                | None ->
-                    Hashtbl.replace inflight key i;
-                    fresh scenario work)
-          end
-        in
-        let journal_source i =
-          let seq, key, report = journal.(i) in
-          let pkey = Point.key proposals.(i).Afex.Mutator.point in
-          if key <> pkey then
-            failwith
-              (Printf.sprintf
-                 "Pool: journaled outcome %d is for point %s, but the explorer \
-                  regenerated %s"
-                 seq key pkey);
-          match
-            Message.outcome_of_report ~total_blocks:(total_blocks t.executor)
-              report
-          with
-          | Ok outcome -> From_journal (seq, outcome)
-          | Error m -> failwith ("Pool: journaled outcome does not decode: " ^ m)
-        in
-        let sources =
-          Array.init n (fun i ->
-              if i < journaled then journal_source i
-              else
-                match t.executor with
-                | Seeded { run; _ } ->
-                    let rng = rngs.(i) in
-                    (* The RNG closure cannot cross the wire: never remoted. *)
-                    fresh None (sync_work (fun () -> run rng scenarios.(i)))
-                | Pure exec ->
-                    memoized i
-                      (sync_work (fun () ->
-                           exec.Afex.Executor.run_scenario scenarios.(i)))
-                | Async a ->
-                    let start () = a.Afex.Executor.start scenarios.(i) in
-                    memoized i
-                      {
-                        run =
-                          (fun () -> Afex.Executor.run_job_blocking (start ()));
-                        start;
-                      })
-        in
-        (* Phase boundaries for the scheduler's telemetry: everything up
-           to here ran sequentially on the explorer thread (generation),
-           exec_batch is the parallel window, the merge loop below is
-           explorer-thread feedback again. *)
-        let gen_done = Unix.gettimeofday () in
-        (match (scheduler, t.async) with
-        | Some s, Some a -> Async_executor.set_inflight a (Scheduler.window s)
-        | (Some _ | None), _ -> ());
-        let results = exec_batch t (Array.of_list (List.rev !rev_tasks)) in
-        let exec_done = Unix.gettimeofday () in
-        executed := !executed + Array.length results;
-        (* Merge in submission order; the explorer learns from outcomes in
-           the exact order candidates were generated. *)
-        let outcomes = Array.make n None in
-        for i = 0 to n - 1 do
-          let result =
-            match sources.(i) with
-            | From_cache outcome -> Ok outcome
-            | From_worker slot -> results.(slot)
-            | From_journal (seq, outcome) ->
-                if seq <> Afex.Explorer.iterations explorer + 1 then
-                  Error
-                    (Failure
-                       (Printf.sprintf
-                          "Pool: journal replays iteration %d at position %d" seq
-                          (Afex.Explorer.iterations explorer + 1)))
-                else Ok outcome
-            | Duplicate j -> (
-                match outcomes.(j) with
-                | Some outcome -> Ok outcome
-                | None ->
-                    Error (Invalid_argument "Pool: duplicate of a failed scenario"))
-          in
-          match result with
-          | Error e -> raise e
-          | Ok outcome ->
-              outcomes.(i) <- Some outcome;
-              (* Journal the outcome before the explorer absorbs it: a
-                 crash between the two re-applies it from the journal on
-                 resume, which is idempotent — the reverse order would
-                 lose it. Already-journaled outcomes are not re-appended. *)
-              (match checkpoint with
-              | Some cp when i >= journaled ->
-                  Checkpoint.append_outcome cp ~batch:this_batch
-                    ~point_key:(Point.key proposals.(i).Afex.Mutator.point)
-                    ~seq:(Afex.Explorer.iterations explorer + 1)
-                    outcome
-              | Some _ | None -> ());
-              if memoize then
-                Hashtbl.replace cache (Scenario.to_string scenarios.(i)) outcome;
-              let case = Afex.Explorer.report explorer proposals.(i) outcome in
-              (match stop with
-              | Some s when s.Afex.Session.matches case ->
-                  Hashtbl.replace matched (Point.key case.Afex.Test_case.point) ();
-                  if
-                    Hashtbl.length matched >= s.Afex.Session.count
-                    && !stop_iteration = None
-                  then stop_iteration := Some (Afex.Explorer.iterations explorer)
-              | Some _ | None -> ())
-        done;
-        (match scheduler with
-        | Some s ->
-            let merge_done = Unix.gettimeofday () in
-            Scheduler.observe s
-              ~gen_ms:(1000.0 *. (gen_done -. batch_started))
-              ~exec_ms:(1000.0 *. (exec_done -. gen_done))
-              ~merge_ms:(1000.0 *. (merge_done -. exec_done))
-              ~executed:(Array.length results) ~merged:n
-        | None -> ());
-        (match checkpoint with
-        | Some cp ->
-            (* Snapshot when the cadence is due — and always right after
-               the last journaled batch drains, because that snapshot is
-               what retires the replayed journal entries. *)
-            let drained = replay <> None && not (Checkpoint.replay_pending cp) in
-            if
-              drained
-              || Checkpoint.due cp
-                   ~iterations:(Afex.Explorer.iterations explorer)
-            then write_snapshot ()
-        | None -> ());
-        loop ()
-      end
+            let abs = !submitted + 1 in
+            let scenario = Afex.Explorer.scenario_for explorer p in
+            let rng = seeded_rng () in
+            let skey =
+              if memoize then Some (Scenario.to_string scenario) else None
+            in
+            let fresh ~wire run start =
+              Hashtbl.replace metas abs
+                { m_proposal = p; m_skey = skey; m_journaled = false;
+                  m_worker = true };
+              Runtime.submit t.runtime
+                { Runtime.seq = abs; scenario = wire; run; start }
+            in
+            (* A synchronous thunk as nonblocking work: [start] just runs
+               it to completion, so the event loop degenerates
+               gracefully. *)
+            let sync run =
+              (run, fun () -> Afex.Executor.job_done (run ()))
+            in
+            let immediate slot =
+              Hashtbl.replace metas abs
+                { m_proposal = p; m_skey = skey; m_journaled = false;
+                  m_worker = false };
+              Runtime.Reorder.offer reorder ~seq:abs slot
+            in
+            let memoized wire run start =
+              match skey with
+              | None -> fresh ~wire run start
+              | Some key -> (
+                  match Hashtbl.find_opt cache key with
+                  | Some outcome ->
+                      incr cache_hits;
+                      immediate (Ready (Ok outcome))
+                  | None ->
+                      if Hashtbl.mem inflight_keys key then begin
+                        incr cache_hits;
+                        immediate (Dup key)
+                      end
+                      else begin
+                        Hashtbl.replace inflight_keys key ();
+                        fresh ~wire run start
+                      end)
+            in
+            (match t.executor with
+            | Seeded { run; _ } ->
+                (* The RNG closure cannot cross the wire: never remoted,
+                   never memoized. *)
+                let rng = Option.get rng in
+                let thunk () = run rng scenario in
+                let run, start = sync thunk in
+                fresh ~wire:None run start
+            | Pure exec ->
+                let thunk () = exec.Afex.Executor.run_scenario scenario in
+                let run, start = sync thunk in
+                memoized (Some scenario) run start
+            | Async a ->
+                let start () = a.Afex.Executor.start scenario in
+                memoized (Some scenario)
+                  (fun () -> Afex.Executor.run_job_blocking (start ()))
+                  start);
+            submitted := abs));
+    gen_acc := !gen_acc +. (1000.0 *. (Unix.gettimeofday () -. t0))
+  in
+  (* Release exactly the next submission, blocking on the runtime while
+     the head of line is outstanding (completions for later submissions
+     are absorbed into the reorder buffer as they arrive). *)
+  let absorb completions =
+    List.iter
+      (fun (seq, result) -> Runtime.Reorder.offer reorder ~seq (Ready result))
+      completions
+  in
+  let release_one () =
+    let seq = Runtime.Reorder.watermark reorder in
+    (match Runtime.Reorder.peek reorder with
+    | Some _ -> ()
+    | None ->
+        absorb (Runtime.poll t.runtime ~block:false);
+        if Runtime.Reorder.peek reorder = None then begin
+          let t0 = Unix.gettimeofday () in
+          while Runtime.Reorder.peek reorder = None do
+            if Runtime.outstanding t.runtime = 0 then
+              failwith "Pool: a submitted task produced no completion";
+            absorb (Runtime.poll t.runtime ~block:true)
+          done;
+          stall_acc := !stall_acc +. (1000.0 *. (Unix.gettimeofday () -. t0))
+        end);
+    let slot =
+      match Runtime.Reorder.pop reorder with Some s -> s | None -> assert false
+    in
+    let t0 = Unix.gettimeofday () in
+    let m = Hashtbl.find metas seq in
+    Hashtbl.remove metas seq;
+    let outcome =
+      match slot with
+      | Ready (Ok o) -> o
+      | Ready (Error e) -> raise e
+      | Dup key -> (
+          match Hashtbl.find_opt cache key with
+          | Some o -> o
+          | None -> raise (Invalid_argument "Pool: duplicate of a failed scenario"))
+    in
+    if m.m_worker then begin
+      incr executed;
+      incr round_executed;
+      match m.m_skey with
+      | Some key -> Hashtbl.remove inflight_keys key
+      | None -> ()
+    end;
+    (* Journal the outcome before the explorer absorbs it: a crash
+       between the two re-applies it from the journal on resume, which
+       is idempotent — the reverse order would lose it. Replayed
+       outcomes are not re-appended. *)
+    (match checkpoint with
+    | Some cp when not m.m_journaled ->
+        Checkpoint.append_outcome cp
+          ~point_key:(Point.key m.m_proposal.Afex.Mutator.point)
+          ~seq outcome
+    | Some _ | None -> ());
+    (match m.m_skey with
+    | Some key -> Hashtbl.replace cache key outcome
+    | None -> ());
+    let case = Afex.Explorer.report explorer m.m_proposal outcome in
+    (match stop with
+    | Some s when s.Afex.Session.matches case ->
+        Hashtbl.replace matched (Point.key case.Afex.Test_case.point) ();
+        if Hashtbl.length matched >= s.Afex.Session.count && !stop_iteration = None
+        then stop_iteration := Some (Afex.Explorer.iterations explorer)
+    | Some _ | None -> ());
+    merge_acc := !merge_acc +. (1000.0 *. (Unix.gettimeofday () -. t0));
+    released := !released + 1;
+    incr round_releases;
+    if !round_releases >= !round_window then finish_round ()
+  in
+  let rec drive () =
+    if !released >= !next_sync then begin
+      (* Quiescent sync watermark: submissions were capped at the
+         boundary, so everything before it has released. Close the
+         partial round — a resumed campaign restarts its round
+         accumulators here, so round boundaries must coincide with sync
+         points for both to see the same window sequence — and write the
+         cadence snapshot if one is due. *)
+      if !round_releases > 0 then finish_round ();
+      (match checkpoint with
+      | Some cp
+        when Checkpoint.due cp ~iterations:(Afex.Explorer.iterations explorer)
+        ->
+          write_snapshot ()
+      | Some _ | None -> ());
+      next_sync := !next_sync + sync_every;
+      drive ()
+    end
+    else if
+      can_submit ()
+      && !submitted - !released < !round_window
+      && !submitted < !next_sync
+    then begin
+      submit_one ();
+      drive ()
+    end
+    else if !released < !submitted then begin
+      release_one ();
+      drive ()
+    end
+    else if can_submit () then begin
+      (* Submission was refused with nothing pending: the sync branch
+         above fires first when the boundary is the reason, so only a
+         zero-width window could land here — kept impossible by the
+         schedulers' positive-window invariant. *)
+      assert false
     end
   in
-  loop ();
+  drive ();
+  if !round_releases > 0 then finish_round ();
   (* Final snapshot: the completed campaign is itself a resumable (and
      re-resumable) state, and the journal is left empty. *)
   (match checkpoint with Some _ -> write_snapshot () | None -> ());
@@ -665,23 +494,22 @@ let session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint
       ~total_blocks:(total_blocks t.executor)
       ~stopped_early:(target_met ()) ~stop_iteration:!stop_iteration
   in
-  let remote_runs1, remote_fallbacks1 = remote_counters () in
   ( result,
     {
       executed = !executed;
       cache_hits = !cache_hits;
-      batches = !batches;
-      remote_runs = remote_runs1 - remote_runs0;
-      remote_fallbacks = remote_fallbacks1 - remote_fallbacks0;
+      batches = !observed_rounds;
+      remote_runs = Runtime.remote_runs t.runtime - remote_runs0;
+      remote_fallbacks = Runtime.remote_fallbacks t.runtime - remote_fallbacks0;
       wall_ms = 1000.0 *. (Unix.gettimeofday () -. started);
     } )
 
 let run ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint ?batch_size
-    ?memoize ?remotes ?inflight ?request_timeout_ms ~jobs ~iterations config sub
-    executor =
+    ?memoize ?sync_every ?remotes ?inflight ?request_timeout_ms ~jobs
+    ~iterations config sub executor =
   let t = create ?remotes ?inflight ?request_timeout_ms ~jobs executor in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
       session ?scheduler ?transform ?stop ?time_budget_ms ?checkpoint ?batch_size
-        ?memoize ~iterations t config sub)
+        ?memoize ?sync_every ~iterations t config sub)

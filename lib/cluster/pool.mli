@@ -1,13 +1,19 @@
-(** Multicore execution backend: a real [Domain]-based worker pool
-    (§6.1, §7.7 — the architecture {!Simulation} only models).
+(** Multicore execution backend: the explorer-facing session loop over
+    the work-stealing {!Runtime} (§6.1, §7.7 — the architecture
+    {!Simulation} only models).
 
-    One explorer thread generates candidate batches; [jobs] worker
-    domains execute them over a bounded shared queue; outcomes are merged
-    back into the explorer in submission order. Because candidate
+    The explorer thread keeps a sliding window of up to [batch_size]
+    candidates in flight: it submits to the runtime while the window has
+    room and otherwise merges the oldest outstanding outcome, released
+    by the runtime's reorder buffer strictly in submission order. There
+    is no batch barrier — generation overlaps execution, and one slow
+    test delays only its own release, not a whole batch. Because
     generation and merging both happen sequentially on the explorer
-    thread, the explored-point history depends only on the seed and the
-    batch size — {e never} on [jobs] or on how the OS schedules the
-    domains. A campaign is therefore replayable at any parallelism.
+    thread under a schedule that is a pure function of the seed, the
+    window sequence and the iteration count, the explored-point history
+    {e never} depends on [jobs], [inflight], completion order or how the
+    OS schedules domains. A campaign is therefore replayable at any
+    parallelism.
 
     Deterministic executors additionally get a scenario-keyed outcome
     cache: a repeated candidate (common late in a beam search, and under
@@ -25,8 +31,8 @@ type executor =
       run : Afex_stats.Rng.t -> Afex_faultspace.Scenario.t -> Afex_injector.Outcome.t;
     }
       (** Stochastic executor (e.g. {!Afex_injector.Engine.nondeterminism}
-          models): each task receives its own RNG stream, split per batch
-          and per task in submission order from the session seed, so runs
+          models): each task receives its own RNG stream, split off the
+          session master at submission time in submission order, so runs
           replay exactly for a fixed seed regardless of [jobs]. Never
           memoized. *)
   | Async of Afex.Executor.async
@@ -39,10 +45,10 @@ type executor =
           alone — and therefore memoized like [Pure]. *)
 
 type t
-(** A running pool: [jobs] local worker domains plus one proxy domain per
-    remote manager, all blocked on the same work queue. With [jobs = 1]
-    and no remotes, no domain is spawned and tasks run inline on the
-    caller. *)
+(** A running pool: a {!Runtime} handle — [jobs] local worker domains
+    plus one proxy domain per remote manager, each owning a
+    work-stealing deque. With [jobs = 1] and no remotes, no domain is
+    spawned and tasks run inline on the caller. *)
 
 val create :
   ?remotes:Remote_manager.spec list ->
@@ -51,13 +57,16 @@ val create :
   jobs:int ->
   executor ->
   t
-(** Spawns the worker domains. Each remote spec gets a dedicated proxy
-    domain that ships scenarios to its manager over the wire and falls
-    back to running them locally if the manager fails (dead, exhausted
-    retries, byzantine replies) — so remotes affect throughput, never the
-    explored-point history. Remote connections are dialed lazily on first
-    use. [Seeded] tasks are never sent remotely (their RNG stream cannot
-    cross the wire).
+(** Spawns the worker domains. The explorer feeds their per-worker
+    deques round-robin; a worker whose deque runs dry steals from a
+    random victim, so one slow scenario never idles the rest of the
+    fleet. Each remote spec gets a dedicated proxy domain that ships
+    stolen scenarios to its manager over the wire and falls back to
+    running them locally if the manager fails (dead, exhausted retries,
+    byzantine replies) — so remotes affect throughput, never the
+    explored-point history. Remote connections are dialed lazily on
+    first use. [Seeded] tasks are never sent remotely (their RNG stream
+    cannot cross the wire).
 
     [inflight] (default 1) switches the pool to single-domain event-loop
     mode when [> 1] (an [Async] executor switches unconditionally): up to
@@ -88,7 +97,7 @@ val shutdown : t -> unit
 type stats = {
   executed : int;  (** scenarios actually run on a worker *)
   cache_hits : int;  (** outcomes served from the memo cache *)
-  batches : int;
+  batches : int;  (** scheduler rounds observed this session *)
   remote_runs : int;  (** scenarios whose outcome came over the wire *)
   remote_fallbacks : int;
       (** remote attempts that failed and were re-run locally *)
@@ -103,6 +112,7 @@ val session :
   ?checkpoint:Checkpoint.t ->
   ?batch_size:int ->
   ?memoize:bool ->
+  ?sync_every:int ->
   iterations:int ->
   t ->
   Afex.Config.t ->
@@ -111,38 +121,47 @@ val session :
 (** Parallel counterpart of {!Afex.Session.run} on an existing pool.
 
     [batch_size] (default 32) is the in-flight window: the explorer
-    issues up to that many candidates, the pool executes them in
-    parallel, and outcomes are reported back in submission order before
-    the next batch is generated. [stop] targets and [time_budget_ms] are
-    checked at batch boundaries (plus per-case during the merge for
-    [stop_iteration]), so they too are [jobs]-independent. With
-    [batch_size = 1] the schedule degenerates to exactly
-    {!Afex.Session.run}'s candidate stream.
+    submits a candidate whenever fewer than that many are outstanding,
+    and otherwise merges the oldest outstanding outcome — generation
+    overlaps execution, with no barrier between them. [stop] targets and
+    [time_budget_ms] are checked at submission time against the merged
+    prefix (plus per-case during the merge for [stop_iteration]), so
+    they too are [jobs]-independent. With [batch_size = 1] the schedule
+    degenerates to exactly {!Afex.Session.run}'s candidate stream.
 
     [memoize] (default [true]) enables the outcome cache for [Pure]
     executors; it is ignored for [Seeded] ones.
 
+    [sync_every] (default 512) spaces the schedule's quiescent sync
+    watermarks: submissions never cross a multiple of [sync_every] until
+    everything before it has merged, draining the window there. The
+    drain is part of the schedule whether or not a checkpoint is armed —
+    it is where cadence snapshots are written — so the explored history
+    is a function of (seed, window sequence, [sync_every], iterations)
+    and nothing else.
+
     [scheduler] hands window control (and its telemetry) to a
-    {!Scheduler}: each batch uses [Scheduler.window] instead of
-    [batch_size], phase timings are fed back through
-    [Scheduler.observe], and in event-loop mode the executor's
+    {!Scheduler}: each round of [Scheduler.window] merges uses the
+    window the controller chose, phase timings are fed back through
+    [Scheduler.observe] (with the reorder buffer's head-of-line wait as
+    the stall measurement), and in event-loop mode the executor's
     [inflight] (plus each remote connection's credit) is retuned to the
-    window at every batch boundary. Since outcomes still merge in
+    window at every round boundary. Since outcomes still merge in
     submission order, the explored history depends only on the seed and
     the window {e sequence} — which the scheduler's trace records, so an
     adaptive run replays bit-identically via [Scheduler.Replay].
 
     [checkpoint] arms crash-safe campaign persistence: a fresh
-    {!Checkpoint.start} handle writes a base snapshot before the first
-    batch, journals every batch header and reported outcome, and
-    snapshots at the handle's cadence (always at batch boundaries, where
-    no candidate is in flight); a {!Checkpoint.resume} handle first
-    restores the snapshot, then replays the journaled batches —
-    journaled outcomes are applied without re-execution, a half-journaled
-    batch's tail is re-executed — before generating new work. Because
-    the explorer and the per-batch RNG streams are deterministic, the
-    resulting history (and every export derived from it) is byte-for-byte
-    the history the uninterrupted run would have produced.
+    {!Checkpoint.start} handle writes a base snapshot before any work,
+    journals every merged outcome at release, and snapshots at the
+    handle's cadence on the next sync watermark (where nothing is in
+    flight); a {!Checkpoint.resume} handle first restores the snapshot,
+    then replays the journaled outcomes — applied without re-execution,
+    flowing through the same sliding-window schedule — before generating
+    new work. Because the explorer and the per-candidate RNG streams are
+    deterministic, the resulting history (and every export derived from
+    it) is byte-for-byte the history the uninterrupted run would have
+    produced.
     @raise Invalid_argument when combined with [stop] (a predicate
     cannot be captured in a snapshot); @raise Failure when the snapshot
     or journal contradicts the regenerated campaign. *)
@@ -155,6 +174,7 @@ val run :
   ?checkpoint:Checkpoint.t ->
   ?batch_size:int ->
   ?memoize:bool ->
+  ?sync_every:int ->
   ?remotes:Remote_manager.spec list ->
   ?inflight:int ->
   ?request_timeout_ms:int ->

@@ -7,9 +7,19 @@
     duplicated replies are skipped), bounded per-request retries with
     exponential backoff, and reconnection on any transport fault. After
     the retry budget is exhausted the request fails with a typed error —
-    the pool then requeues the scenario on a local worker, so a dead or
-    byzantine manager can slow a campaign down but never stall or corrupt
-    it. *)
+    the caller then re-runs the scenario locally, so a dead or byzantine
+    manager can slow a campaign down but never stall or corrupt it.
+
+    Two callers drive this module: under the work-stealing {!Runtime}
+    each manager gets a dedicated proxy domain that steals tasks from
+    the shared deques and ships them through the blocking client below
+    (falling back to running a failed task on the proxy itself), while
+    the async event loop rides the {!Pipelined} client — several tagged
+    requests outstanding per connection, matched out of order, with the
+    backoff schedule surfaced as timer data instead of sleeps. Either
+    way completions re-enter the explorer through the runtime's reorder
+    buffer, so remote health affects throughput, never the explored
+    history. *)
 
 type error =
   | Transport of Transport.error

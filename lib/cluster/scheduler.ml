@@ -342,7 +342,7 @@ let decide t throughput =
             end
           end)
 
-let observe t ~gen_ms ~exec_ms ~merge_ms ~executed ~merged =
+let observe ?stall_ms t ~gen_ms ~exec_ms ~merge_ms ~executed ~merged =
   let gen_ms = Float.max 0.0 gen_ms
   and exec_ms = Float.max 0.0 exec_ms
   and merge_ms = Float.max 0.0 merge_ms in
@@ -357,7 +357,11 @@ let observe t ~gen_ms ~exec_ms ~merge_ms ~executed ~merged =
      of the window to be generated before dispatch: half the generation
      phase on average. *)
   let queue_wait_ms = gen_ms /. 2.0 in
-  let merge_stall_ms = merge_ms in
+  (* On the barrier pool the merge phase IS the stall; the barrierless
+     runtime measures the head-of-line wait directly and passes it in. *)
+  let merge_stall_ms =
+    Float.max 0.0 (Option.value stall_ms ~default:merge_ms)
+  in
   (* Mean fitness-feedback lag, in candidates: submission i of an
      n-candidate window has n-1-i later submissions executed before its
      outcome reaches sensitivity, so the batch average is (n-1)/2. *)

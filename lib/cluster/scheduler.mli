@@ -1,16 +1,22 @@
 (** Adaptive in-flight window control with scheduler telemetry.
 
-    The pool's batch window (how many candidates the explorer keeps in
-    flight per dispatch round) trades search {e freshness} — fitness
-    feedback reaching the explorer while it still matters — against
-    worker {e utilization} — never letting an executor idle between
-    batches. The seed repo froze that trade-off at a hand-picked 32;
-    this module measures it per batch and, optionally, tunes it online.
+    The pool's window (how many candidates the explorer keeps in flight
+    at once) trades search {e freshness} — fitness feedback reaching the
+    explorer while it still matters — against worker {e utilization} —
+    never letting an executor idle waiting for work. The seed repo froze
+    that trade-off at a hand-picked 32; this module measures it per
+    round and, optionally, tunes it online.
+
+    A {e round} is one controller period: [window] releases from the
+    runtime's reorder buffer (under the old batch-barrier pool, exactly
+    one batch; under the barrierless runtime, a sliding-window span with
+    generation and execution overlapped). The trace format predates the
+    rename and keeps its [batch] field.
 
     Three layers:
 
-    - {b Telemetry}: every batch is decomposed into its generation,
-      execution and merge phases; from those the scheduler derives
+    - {b Telemetry}: every round is decomposed into its generation,
+      execution-wait and merge phases; from those the scheduler derives
       worker utilization, queue wait, merge stall, a freshness score and
       throughput, each smoothed by an EWMA and recorded raw in the
       {!Trace}.
@@ -38,22 +44,31 @@ module Trace : sig
     | Replayed  (** window forced by a replayed trace *)
 
   type entry = {
-    batch : int;  (** 0-based batch index *)
-    window : int;  (** window used for this batch *)
-    next_window : int;  (** the controller's choice for the next batch *)
+    batch : int;  (** 0-based round index (field name is historical) *)
+    window : int;  (** window used for this round *)
+    next_window : int;  (** the controller's choice for the next round *)
     decision : decision;
     gen_ms : float;  (** candidate generation (explorer) time *)
-    exec_ms : float;  (** dispatch-to-last-completion time *)
+    exec_ms : float;
+        (** time the explorer spent blocked on workers: the
+            dispatch-to-last-completion span on the barrier pool, the
+            accumulated head-of-line wait on the barrierless runtime *)
     merge_ms : float;  (** outcome merge (explorer feedback) time *)
     executed : int;  (** scenarios actually run on a worker *)
     merged : int;  (** candidates merged, cache hits included *)
-    throughput : float;  (** merged candidates per second of batch wall *)
-    utilization : float;  (** fraction of batch wall with workers busy *)
+    throughput : float;  (** merged candidates per second of round wall *)
+    utilization : float;
+        (** fraction of round wall with the explorer waiting on workers —
+            workers saturated enough to be the bottleneck *)
     queue_wait_ms : float;  (** mean candidate wait before dispatch *)
-    merge_stall_ms : float;  (** worker idle time while outcomes merge *)
+    merge_stall_ms : float;
+        (** the barrier cost: merge-phase time on the barrier pool,
+            head-of-line reorder-buffer wait on the barrierless runtime *)
     freshness : float;
         (** 1/(1 + mean feedback lag in candidates): 1.0 at window 1,
-            falling as the window widens and fitness feedback staling *)
+            falling as the window widens and fitness feedback stales (the
+            sliding window bounds lag by the window size just as the
+            barrier did) *)
   }
 
   type t = entry list
@@ -128,6 +143,7 @@ val window : t -> int
 (** The window to use for the next batch. Always within bounds. *)
 
 val observe :
+  ?stall_ms:float ->
   t ->
   gen_ms:float ->
   exec_ms:float ->
@@ -135,10 +151,14 @@ val observe :
   executed:int ->
   merged:int ->
   unit
-(** Feed one finished batch's phase timings back: records the trace
+(** Feed one finished round's phase timings back: records the trace
     entry, updates the EWMAs, and (in [Adaptive] mode) retunes the
-    window for the next batch. Call exactly once per batch, after the
-    merge. *)
+    window for the next round. Call exactly once per round, after its
+    releases are merged. [stall_ms] overrides the recorded
+    [merge_stall_ms]: the barrier pool's stall was the merge phase
+    itself (the default), while the barrierless runtime measures the
+    head-of-line wait — time the explorer spent blocked on the reorder
+    buffer's oldest outstanding test — and reports that instead. *)
 
 val telemetry : t -> telemetry option
 (** [None] until the first {!observe}. *)

@@ -104,20 +104,19 @@ let summary_to_json ~target (r : Session.result) =
     ]
 
 let provenance_to_json ~target ~seed ~resumed ~snapshots ~wal_appends
-    ~replayed_batches ~replayed_records () =
+    ~replayed_records () =
   let field name value = Printf.sprintf "  %S: %s" name value in
   String.concat "\n"
     [
       "{";
       String.concat ",\n"
         [
-          field "schema" "1";
+          field "schema" "2";
           field "target" (Printf.sprintf "\"%s\"" (json_escape target));
           field "seed" (string_of_int seed);
           field "resumed" (string_of_bool resumed);
           field "snapshots_written" (string_of_int snapshots);
           field "wal_appends" (string_of_int wal_appends);
-          field "replayed_batches" (string_of_int replayed_batches);
           field "replayed_records" (string_of_int replayed_records);
         ];
       "}";

@@ -24,7 +24,6 @@ val provenance_to_json :
   resumed:bool ->
   snapshots:int ->
   wal_appends:int ->
-  replayed_batches:int ->
   replayed_records:int ->
   unit ->
   string

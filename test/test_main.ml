@@ -15,6 +15,7 @@ let () =
       ("transport", Test_transport.suite);
       ("async", Test_async.suite);
       ("sched", Test_sched.suite);
+      ("runtime", Test_runtime.suite);
       ("pool", Test_pool.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("report", Test_report.suite);

@@ -1,0 +1,402 @@
+(* The work-stealing runtime's two data structures in isolation — the
+   submission-indexed reorder buffer and the Chase–Lev-style deque —
+   plus the cross-executor determinism matrix the whole design exists
+   for: the same campaign exported byte-identically from the inline,
+   Domain-stealing, event-loop and loopback-remote backends, a kill at
+   a reorder-buffer sync watermark resumed to the same bytes, and a
+   committed adaptive trace replayed against a committed export. *)
+
+module Runtime = Afex_cluster.Runtime
+module Pool = Afex_cluster.Pool
+module Scheduler = Afex_cluster.Scheduler
+module Checkpoint = Afex_cluster.Checkpoint
+module RM = Afex_cluster.Remote_manager
+module Config = Afex.Config
+module Session = Afex.Session
+module Export = Afex_report.Export
+module Rng = Afex_stats.Rng
+module Apache = Afex_simtarget.Apache
+module Mysql = Afex_simtarget.Mysql
+module Netsim = Afex_simtarget.Netsim
+module Netfault = Afex_injector.Netfault
+module Replsim = Afex_simtarget.Replsim
+module Replfault = Afex_injector.Replfault
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- the reorder buffer ------------------------------------------------ *)
+
+(* A random permutation of 0..n-1: the completion order of n submitted
+   tasks, as adversarial as a scheduler can make it. *)
+let arb_perm =
+  Prop.make
+    ~show:(fun l -> "[" ^ String.concat ";" (List.map string_of_int l) ^ "]")
+    (fun rng ->
+      let n = Rng.int rng 26 in
+      let a = Array.init n (fun i -> i) in
+      for i = n - 1 downto 1 do
+        let j = Rng.int rng (i + 1) in
+        let t = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- t
+      done;
+      Array.to_list a)
+
+let test_prop_reorder_release_order () =
+  Prop.check ~count:300 "release order = submission order" arb_perm (fun perm ->
+      let n = List.length perm in
+      let rb = Runtime.Reorder.create () in
+      let released = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun seq ->
+          Runtime.Reorder.offer rb ~seq seq;
+          let rec drain () =
+            let w = Runtime.Reorder.watermark rb in
+            match Runtime.Reorder.pop rb with
+            | Some v ->
+                (* each pop releases exactly the watermark and advances
+                   it by exactly one *)
+                if v <> w then ok := false;
+                if Runtime.Reorder.watermark rb <> w + 1 then ok := false;
+                released := v :: !released;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+        perm;
+      !ok
+      && List.rev !released = List.init n (fun i -> i)
+      && Runtime.Reorder.buffered rb = 0
+      && Runtime.Reorder.watermark rb = n)
+
+let test_prop_reorder_rejects_dup_and_stale () =
+  Prop.check ~count:300 "duplicate and stale offers raise" arb_perm (fun perm ->
+      match perm with
+      | [] -> true
+      | _ ->
+          let rb = Runtime.Reorder.create () in
+          let dup_ok = ref true in
+          List.iter
+            (fun seq ->
+              Runtime.Reorder.offer rb ~seq seq;
+              match Runtime.Reorder.offer rb ~seq seq with
+              | () -> dup_ok := false
+              | exception Invalid_argument _ -> ())
+            perm;
+          let rec drain () =
+            match Runtime.Reorder.pop rb with Some _ -> drain () | None -> ()
+          in
+          drain ();
+          let stale_ok =
+            match Runtime.Reorder.offer rb ~seq:0 0 with
+            | () -> false
+            | exception Invalid_argument _ -> true
+          in
+          !dup_ok && stale_ok)
+
+let test_reorder_head_of_line_gap () =
+  let rb = Runtime.Reorder.create () in
+  Runtime.Reorder.offer rb ~seq:1 11;
+  Runtime.Reorder.offer rb ~seq:3 33;
+  checkb "pop blocked on the gap" true (Runtime.Reorder.pop rb = None);
+  checkb "peek blocked on the gap" true (Runtime.Reorder.peek rb = None);
+  checki "backlog counts buffered" 2 (Runtime.Reorder.buffered rb);
+  checki "watermark unmoved" 0 (Runtime.Reorder.watermark rb);
+  Runtime.Reorder.offer rb ~seq:0 0;
+  checkb "gap filled releases the head" true (Runtime.Reorder.pop rb = Some 0);
+  checkb "then the buffered successor" true (Runtime.Reorder.pop rb = Some 11);
+  checkb "next gap blocks again" true (Runtime.Reorder.pop rb = None);
+  Runtime.Reorder.offer rb ~seq:2 22;
+  checkb "late middle releases" true (Runtime.Reorder.pop rb = Some 22);
+  checkb "tail releases" true (Runtime.Reorder.pop rb = Some 33);
+  checki "drained" 0 (Runtime.Reorder.buffered rb)
+
+let test_reorder_peek_does_not_advance () =
+  let rb = Runtime.Reorder.create () in
+  Runtime.Reorder.offer rb ~seq:0 7;
+  checkb "peek sees the head" true (Runtime.Reorder.peek rb = Some 7);
+  checkb "peek again sees the same head" true (Runtime.Reorder.peek rb = Some 7);
+  checki "watermark unmoved by peek" 0 (Runtime.Reorder.watermark rb);
+  checkb "pop still releases it" true (Runtime.Reorder.pop rb = Some 7);
+  checki "watermark moved by pop" 1 (Runtime.Reorder.watermark rb)
+
+let test_reorder_custom_base () =
+  (* A resumed campaign creates its buffer at the snapshot's iteration
+     count, not zero. *)
+  let rb = Runtime.Reorder.create ~next:100 () in
+  Runtime.Reorder.offer rb ~seq:102 2;
+  Runtime.Reorder.offer rb ~seq:100 0;
+  Runtime.Reorder.offer rb ~seq:101 1;
+  checkb "releases from the base" true (Runtime.Reorder.pop rb = Some 0);
+  checkb "in order" true (Runtime.Reorder.pop rb = Some 1);
+  checkb "to the tail" true (Runtime.Reorder.pop rb = Some 2);
+  checki "watermark counts from the base" 103 (Runtime.Reorder.watermark rb);
+  checkb "seq below the base is stale" true
+    (match Runtime.Reorder.offer rb ~seq:99 9 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- the work-stealing deque ------------------------------------------- *)
+
+(* 0 = push, 1 = owner pop, 2 = steal: any single-threaded interleaving
+   must agree with the list model (push at the bottom, pop LIFO, steal
+   FIFO) and never lose or duplicate an element. capacity 2 forces the
+   ring to grow under load. *)
+let test_prop_deque_matches_model () =
+  Prop.check ~count:300 "deque ops match the list model"
+    (Prop.list ~max_length:40 (Prop.int_range 0 2))
+    (fun ops ->
+      let d = Runtime.Deque.create ~capacity:2 () in
+      let model = ref [] in
+      let counter = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              incr counter;
+              Runtime.Deque.push d !counter;
+              model := !model @ [ !counter ]
+          | 1 -> (
+              let expect =
+                match List.rev !model with [] -> None | x :: _ -> Some x
+              in
+              let got = Runtime.Deque.pop d in
+              if got <> expect then ok := false;
+              match expect with
+              | Some _ -> model := List.rev (List.tl (List.rev !model))
+              | None -> ())
+          | _ -> (
+              let expect = match !model with [] -> None | x :: _ -> Some x in
+              let got = Runtime.Deque.steal d in
+              if got <> expect then ok := false;
+              match expect with
+              | Some _ -> model := List.tl !model
+              | None -> ()))
+        ops;
+      !ok && Runtime.Deque.length d = List.length !model)
+
+let test_deque_concurrent_steal_no_loss () =
+  (* Three thieves and the owner race to empty the deque; every element
+     must surface exactly once. The last-element race (pop vs steal) is
+     the only lock-free subtlety in the structure, so hammer it. *)
+  let d = Runtime.Deque.create ~capacity:4 () in
+  let n = 2000 in
+  for i = 1 to n do
+    Runtime.Deque.push d i
+  done;
+  let taken = Array.init 4 (fun _ -> ref []) in
+  let drain take mine =
+    let rec go misses =
+      if misses < 10_000 then
+        match take () with
+        | Some v ->
+            mine := v :: !mine;
+            go 0
+        | None -> go (misses + 1)
+    in
+    go 0
+  in
+  let thieves =
+    List.init 3 (fun k ->
+        Domain.spawn (fun () -> drain (fun () -> Runtime.Deque.steal d) taken.(k)))
+  in
+  drain (fun () -> Runtime.Deque.pop d) taken.(3);
+  List.iter Domain.join thieves;
+  let all = List.concat_map (fun r -> !r) (Array.to_list taken) in
+  checki "every element surfaced" n (List.length all);
+  checki "no element twice" n (List.length (List.sort_uniq compare all));
+  checki "deque drained" 0 (Runtime.Deque.length d)
+
+(* --- the cross-executor determinism matrix ----------------------------- *)
+
+(* One campaign per target family, exported from every backend the
+   runtime unifies — inline (jobs 1), work-stealing Domains (jobs 4),
+   the async event loop (inflight 8) and a loopback remote manager
+   behind a proxy domain — and byte-diffed pairwise. This is the
+   tentpole's contract: parallelism placement may change throughput,
+   never a byte of the explored history. *)
+let matrix_exports ~tag ~iterations ~seed space mk_exec =
+  let leg ?remotes ?inflight ~jobs () =
+    let result, _ =
+      Pool.run ?remotes ?inflight ~batch_size:8 ~jobs ~iterations
+        (Config.fitness_guided ~seed ())
+        space
+        (Pool.Pure (mk_exec ()))
+    in
+    (Export.summary_to_json ~target:tag result, Export.records_to_csv result)
+  in
+  let base = leg ~jobs:1 () in
+  let legs =
+    [ ("jobs=4", leg ~jobs:4 ()); ("inflight=8", leg ~inflight:8 ~jobs:1 ()) ]
+  in
+  let lb = RM.Loopback.create ~executor:(mk_exec ()) () in
+  let remote = leg ~remotes:[ RM.Loopback.spec lb ] ~jobs:1 () in
+  RM.Loopback.shutdown lb;
+  List.iter
+    (fun (name, (json, csv)) ->
+      checks (tag ^ " " ^ name ^ " JSON") (fst base) json;
+      checks (tag ^ " " ^ name ^ " CSV") (snd base) csv)
+    (legs @ [ ("loopback-remote", remote) ])
+
+let test_matrix_mysql () =
+  matrix_exports ~tag:"mysql" ~iterations:150 ~seed:41 (Mysql.space ())
+    (fun () -> Afex.Executor.of_target (Mysql.target ()))
+
+let test_matrix_netsim () =
+  let server = Netsim.httpd_like () in
+  matrix_exports ~tag:"netsim" ~iterations:120 ~seed:41 (Netfault.space server)
+    (fun () ->
+      Afex.Executor.of_scenario_fn
+        ~total_blocks:(Netfault.total_request_blocks server)
+        ~description:"netsim" (Netfault.run_scenario server))
+
+let replsim_cluster = Replsim.make ~n:6 ~rounds:120 ~seed:9 ()
+
+let test_matrix_replsim () =
+  matrix_exports ~tag:"replsim" ~iterations:150 ~seed:21
+    (Replfault.multi_space ~arms:2 replsim_cluster)
+    (fun () ->
+      Afex.Executor.of_scenario_fn
+        ~total_blocks:(Replsim.total_blocks replsim_cluster)
+        ~description:(Replfault.description replsim_cluster)
+        (Replfault.run_scenario replsim_cluster))
+
+let test_sequential_leg_matches_session_run () =
+  (* With a window of one the pool's schedule degenerates to exactly the
+     core sequential session — the determinism baseline every other
+     matrix leg is transitively compared against. *)
+  let config = Config.fitness_guided ~seed:41 () in
+  let sequential =
+    Session.run ~iterations:150 config (Mysql.space ())
+      (Afex.Executor.of_target (Mysql.target ()))
+  in
+  let pooled, _ =
+    Pool.run ~batch_size:1 ~jobs:1 ~iterations:150 config (Mysql.space ())
+      (Pool.Pure (Afex.Executor.of_target (Mysql.target ())))
+  in
+  checks "sequential leg JSON"
+    (Export.summary_to_json ~target:"mysql" sequential)
+    (Export.summary_to_json ~target:"mysql" pooled)
+
+(* --- kill -9 at a reorder-buffer sync watermark ------------------------ *)
+
+exception Crash
+
+let test_kill_and_resume_at_watermark () =
+  (* sync_every 32 < iterations 150: the campaign hits real mid-flight
+     watermarks, and the every:25 cadence writes its snapshot at the
+     first one (release 32, where nothing is in flight). Crash at the
+     40th journal append — past that snapshot — and the resume must
+     restore the *watermark* snapshot (a handful of journaled outcomes
+     replayed, not the whole campaign) and still reproduce the
+     uninterrupted exports byte-for-byte. *)
+  let meta = [ ("format", "1"); ("target", "apache"); ("seed", "7") ] in
+  let exports ?checkpoint () =
+    let result, _ =
+      Pool.run ?checkpoint ~jobs:1 ~batch_size:8 ~sync_every:32 ~iterations:150
+        (Config.fitness_guided ~seed:7 ())
+        (Apache.space ())
+        (Pool.Pure (Afex.Executor.of_target (Apache.target ())))
+    in
+    (Export.summary_to_json ~target:"apache" result, Export.records_to_csv result)
+  in
+  let base_json, base_csv = exports () in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "afex_runtime_wm_%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let hooks =
+        {
+          Checkpoint.no_hooks with
+          Checkpoint.on_append = (fun n -> if n = 40 then raise Crash);
+        }
+      in
+      (match Checkpoint.start ~hooks ~every:25 ~dir meta with
+      | Error e -> Alcotest.fail e
+      | Ok cp ->
+          let crashed =
+            match exports ~checkpoint:cp () with
+            | _ -> false
+            | exception Crash -> true
+          in
+          let s = Checkpoint.stats cp in
+          Checkpoint.close cp;
+          checkb "campaign crashed mid-flight" true crashed;
+          checkb "a watermark snapshot was written before the crash" true
+            (s.Checkpoint.snapshots_written >= 2));
+      match Checkpoint.resume ~every:25 ~dir meta with
+      | Error e -> Alcotest.fail e
+      | Ok cp ->
+          Fun.protect
+            ~finally:(fun () -> Checkpoint.close cp)
+            (fun () ->
+              let json, csv = exports ~checkpoint:cp () in
+              let s = Checkpoint.stats cp in
+              checkb "resumed from the watermark snapshot, not the base" true
+                (s.Checkpoint.replayed_records >= 1
+                && s.Checkpoint.replayed_records <= 8);
+              checks "JSON identical after watermark resume" base_json json;
+              checks "CSV identical after watermark resume" base_csv csv))
+
+(* --- golden trace replay ----------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_golden_trace_replay () =
+  (* The committed trace records the window sequence an adaptive run
+     actually chose (wall-clock dependent, unreproducible from the seed);
+     replaying it must keep producing the committed export bit-for-bit.
+     Any drift in the mutator, the RNG stream, the reorder buffer's
+     release order or the trace codec shows up as a byte diff against
+     two files under version control. *)
+  match Scheduler.Trace.load "golden/apache_adaptive_seed13.trace" with
+  | Error e -> Alcotest.fail ("golden trace unreadable: " ^ e)
+  | Ok trace ->
+      checkb "golden trace has entries" true (trace <> []);
+      let sched =
+        Scheduler.create (Scheduler.Replay (Scheduler.Trace.windows trace))
+      in
+      let result, _ =
+        Pool.run ~scheduler:sched ~jobs:1 ~iterations:80
+          (Config.fitness_guided ~seed:13 ())
+          (Apache.space ())
+          (Pool.Pure (Afex.Executor.of_target (Apache.target ())))
+      in
+      let fresh = Export.summary_to_json ~target:"apache" result in
+      let golden = read_file "golden/apache_adaptive_seed13.json" in
+      checks "replayed export matches the golden file" golden fresh
+
+let suite =
+  List.map
+    (fun (n, f) -> Alcotest.test_case n `Quick f)
+    [
+      ("prop: reorder release order", test_prop_reorder_release_order);
+      ("prop: reorder rejects dup and stale", test_prop_reorder_rejects_dup_and_stale);
+      ("reorder head-of-line gap", test_reorder_head_of_line_gap);
+      ("reorder peek does not advance", test_reorder_peek_does_not_advance);
+      ("reorder custom base sequence", test_reorder_custom_base);
+      ("prop: deque matches model", test_prop_deque_matches_model);
+      ("deque concurrent steal no loss", test_deque_concurrent_steal_no_loss);
+      ("matrix: mysql", test_matrix_mysql);
+      ("matrix: netsim", test_matrix_netsim);
+      ("matrix: replsim", test_matrix_replsim);
+      ("matrix: sequential leg", test_sequential_leg_matches_session_run);
+      ("kill and resume at a watermark", test_kill_and_resume_at_watermark);
+      ("golden trace replay", test_golden_trace_replay);
+    ]
