@@ -104,6 +104,83 @@ let feedback_weight_test () =
   Test.make ~name:"feedback weight query (200 distinct)"
     (Staged.stage (fun () -> ignore (Afex_quality.Feedback.weight fb probe)))
 
+(* --- wire codec hot paths: one steady-state run_report, v1 vs v2 --- *)
+
+module Message = Afex_cluster.Message
+
+(* A representative report: mid-campaign coverage (contiguous runs plus
+   strays), two stacks and a fault the connection has already seen. *)
+let wire_report () =
+  let rng = Rng.create 42 in
+  {
+    Message.seq = 1234;
+    status = Outcome.Crashed;
+    triggered = true;
+    new_blocks = 0;
+    fault =
+      Fault.make ~test_id:17 ~func:"read" ~call_number:3 ~errno:"EIO"
+        ~retval:(-1) ();
+    coverage =
+      List.sort_uniq compare
+        (List.init 60 (fun i -> i) @ List.init 40 (fun _ -> Rng.int rng 400));
+    injection_stack =
+      Some [ "libc.so:read"; "read_texts (derror.cc:104)"; "init (x.c:3)"; "main" ];
+    crash_stack = Some [ "libc.so:abort"; "handle_fatal (derror.cc:10)"; "main" ];
+    duration_ms = 12.5;
+  }
+
+let wire_encode_v1_test () =
+  let r = Message.Scenario_result (wire_report ()) in
+  Test.make ~name:"run_report encode v1 (text)"
+    (Staged.stage (fun () -> ignore (Message.encode_from_manager r)))
+
+let wire_decode_v1_test () =
+  let line = Message.encode_from_manager (Message.Scenario_result (wire_report ())) in
+  Test.make ~name:"run_report decode v1 (text)"
+    (Staged.stage (fun () -> ignore (Message.decode_from_manager line)))
+
+let wire_encode_v2_test () =
+  (* Steady state: the dictionary is warm, the buffer is reused — the
+     per-report cost on a long-lived connection. *)
+  let r = Message.Scenario_result (wire_report ()) in
+  let enc = Message.V2.server_enc () in
+  let b = Buffer.create 512 in
+  Message.V2.encode_reply enc b r;
+  Test.make ~name:"run_report encode v2 (binary)"
+    (Staged.stage (fun () ->
+         Buffer.clear b;
+         Message.V2.encode_reply enc b r))
+
+let wire_decode_v2_test () =
+  let r = Message.Scenario_result (wire_report ()) in
+  let enc = Message.V2.server_enc () in
+  let dec = Message.V2.client_dec () in
+  let warm = Buffer.create 512 in
+  Message.V2.encode_reply enc warm r;
+  (match Message.V2.decode_replies dec (Buffer.contents warm) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let steady = Buffer.create 512 in
+  Message.V2.encode_reply enc steady r;
+  let payload = Buffer.contents steady in
+  Test.make ~name:"run_report decode v2 (binary)"
+    (Staged.stage (fun () -> ignore (Message.V2.decode_replies dec payload)))
+
+let varint_roundtrip_test () =
+  let values = [| 0; 1; 127; 128; 16_383; 16_384; 2_097_151; max_int |] in
+  let b = Buffer.create 80 in
+  Test.make ~name:"varint round-trip (8 values)"
+    (Staged.stage (fun () ->
+         Buffer.clear b;
+         Array.iter (Message.V2.varint_encode b) values;
+         let s = Buffer.contents b in
+         let pos = ref 0 in
+         for _ = 1 to Array.length values do
+           match Message.V2.varint_decode s ~pos:!pos with
+           | Ok (_, next) -> pos := next
+           | Error e -> failwith e
+         done))
+
 let parse_test () =
   let description =
     "function : { malloc, calloc, realloc } errno : { ENOMEM } retval : { 0 } \
@@ -125,6 +202,11 @@ let tests () =
       index_observe_test ();
       feedback_weight_test ();
       parse_test ();
+      wire_encode_v1_test ();
+      wire_decode_v1_test ();
+      wire_encode_v2_test ();
+      wire_decode_v2_test ();
+      varint_roundtrip_test ();
     ]
 
 let benchmark () =

@@ -406,11 +406,24 @@ let drain_remotes t =
       absorb_orphans t ix)
     t.remotes
 
+(* Nothing may sit in a v2 coalescing buffer while the loop blocks in
+   [select] waiting for replies those very requests would produce. *)
+let flush_remotes t =
+  Array.iteri
+    (fun ix r ->
+      match Pipelined.flush r.conn with
+      | Ok () -> ()
+      | Error _ ->
+          refresh_gate t ix;
+          absorb_orphans t ix)
+    t.remotes
+
 (* One event-loop iteration: select over job fds and remote sockets up
    to [max_wait_s] (bounded by the wheel's next deadline), then drain
    everything that became ready and refill the dispatch window. *)
 let step t ~max_wait_s =
   t.n_wakeups <- t.n_wakeups + 1;
+  flush_remotes t;
   let now = t.now_ms () in
   let fd_slots =
     Hashtbl.fold
@@ -447,7 +460,8 @@ let step t ~max_wait_s =
     (fun (fd, tag) -> if List.memq fd readable then poll_slot t tag)
     fd_slots;
   List.iter (handle_event t) (Timer_wheel.advance t.wheel ~now_ms:(t.now_ms ()));
-  dispatch t
+  dispatch t;
+  flush_remotes t
 
 let submit t ~tag task =
   if Hashtbl.mem t.live tag then
@@ -460,6 +474,7 @@ let submit t ~tag task =
 
 let poll t ~block =
   dispatch t;
+  flush_remotes t;
   if Queue.is_empty t.done_q && Hashtbl.length t.live > 0 then
     if block then
       while Queue.is_empty t.done_q && Hashtbl.length t.live > 0 do

@@ -6,11 +6,19 @@
     (the transport frames them); every decoder is total and returns
     [Error] on malformed input — wire bytes are never trusted.
 
-    The protocol is versioned: a connection opens with a [HELLO]
-    handshake and the manager answers [WELCOME] (same version) or
-    [REJECT]. Bump {!protocol_version} on any wire-format change. *)
+    The protocol is versioned: a connection opens with a [HELLO v]
+    handshake carrying the client's preferred version and the manager
+    answers [WELCOME v] for any version it speaks (at most
+    {!protocol_version_max}) or [REJECT]. Version 1 is the line-oriented
+    text protocol below; version 2 ({!V2}) packs several varint-encoded
+    binary records into each frame. A v2 client meeting a v1-only
+    manager redials offering version 1, so mixed fleets interoperate. *)
 
 val protocol_version : int
+(** The baseline (v1) version every peer speaks. *)
+
+val protocol_version_max : int
+(** The newest protocol version this build can negotiate (2). *)
 
 val max_line : int
 (** Maximum accepted length of one protocol line (1 MiB); longer input is
@@ -114,3 +122,101 @@ val decode_from_manager : string -> (from_manager, string) result
 (** Total inverse of {!encode_from_manager}. *)
 
 val pp_from_manager : Format.formatter -> from_manager -> unit
+
+(** {2 Wire protocol v2}
+
+    The binary codec negotiated as version 2. A v2 frame payload is a
+    concatenation of tagged records — requests and reports coalesce,
+    many to a frame — with LEB128 varint scalars and length-prefixed raw
+    strings instead of percent-escaped text. Each direction carries
+    per-connection codec state:
+
+    - the server interns stack frames and fault descriptors into a
+      dictionary, announced to the client through incremental [DICT]
+      records (explicit base id, new entries only), so steady-state
+      reports ship int ids;
+    - the client delta-encodes each scenario against the previous one
+      sent on the connection (mutations touch few axes).
+
+    All state is per-connection and resets on reconnect — a fresh
+    {!client_enc}/{!server_dec}/{!server_enc}/{!client_dec} per dial.
+    Desynchronization (a dropped or duplicated frame that still passes
+    the frame checksum) is detected, never silently absorbed: requests
+    carry a generation counter and a full-scenario checksum, dictionary
+    records fail on gaps or conflicting redefinitions, and reports fail
+    on unknown ids. Every decoder returns [Error] — connection-fatal by
+    protocol: the peer resets and falls back like any transport fault. *)
+
+module V2 : sig
+  (** {3 Varints} — exposed for tests and micro-benches. *)
+
+  val varint_encode : Buffer.t -> int -> unit
+  (** LEB128. @raise Invalid_argument on negative input. *)
+
+  val svarint_encode : Buffer.t -> int -> unit
+  (** Zigzag + LEB128; any [int]. *)
+
+  val varint_decode : string -> pos:int -> (int * int, string) result
+  (** [(value, next_pos)]; total — truncation and overflow are [Error]. *)
+
+  val svarint_decode : string -> pos:int -> (int * int, string) result
+
+  (** {3 Client -> server} *)
+
+  type client_enc
+  (** Encoder state: the last scenario sent (delta base) and the
+      outgoing generation counter. *)
+
+  val client_enc : unit -> client_enc
+
+  val encode_request :
+    client_enc -> Buffer.t -> seq:int -> Afex_faultspace.Scenario.t -> unit
+  (** Append one request record. Sends a positional delta against the
+      previous scenario when the axis names line up and strictly fewer
+      bindings changed than the scenario holds, else the full scenario.
+      Always carries the generation number and an FNV-1a checksum of
+      the complete scenario. @raise Invalid_argument on negative [seq]. *)
+
+  val encode_shutdown : Buffer.t -> unit
+
+  type server_dec
+  (** Decoder state: the last reconstructed scenario and the highest
+      generation applied. *)
+
+  val server_dec : unit -> server_dec
+
+  val decode_requests :
+    server_dec -> string -> (to_manager list, string) result
+  (** Decode a frame payload into its requests, in order. Requests with
+      a stale generation (a duplicated frame) are skipped without
+      touching decoder state; a generation gap, checksum mismatch,
+      delta without a base, or malformed record is [Error]. *)
+
+  (** {3 Server -> client} *)
+
+  type server_enc
+  (** The interning dictionary: string -> id, grown as reports mention
+      new stack frames or fault descriptors. *)
+
+  val server_enc : unit -> server_enc
+
+  val server_dict_size : server_enc -> int
+
+  val encode_reply : server_enc -> Buffer.t -> from_manager -> unit
+  (** Append one reply. Newly interned strings (stack frames and the
+      fault descriptor) are announced in a [DICT] record immediately
+      preceding the report that uses them, inside the same frame. *)
+
+  type client_dec
+  (** The mirror dictionary: id -> frame string. *)
+
+  val client_dec : unit -> client_dec
+
+  val client_dict_size : client_dec -> int
+
+  val decode_replies :
+    client_dec -> string -> (from_manager list, string) result
+  (** Decode a frame payload into its replies, in order, applying
+      [DICT] records to the dictionary as they appear. Gaps,
+      conflicting redefinitions and unknown ids are [Error]. *)
+end

@@ -101,6 +101,9 @@ type stats = {
   remote_runs : int;  (** scenarios whose outcome came over the wire *)
   remote_fallbacks : int;
       (** remote attempts that failed and were re-run locally *)
+  wire_downgrades : int;
+      (** remote connections that fell back to wire protocol v1 because
+          the manager rejected the preferred version *)
   wall_ms : float;  (** real elapsed time of the session loop *)
 }
 

@@ -81,6 +81,13 @@ module Frame = struct
     end
 end
 
+type counters = {
+  mutable frames_out : int;
+  mutable frames_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+}
+
 type t = {
   send : string -> (unit, error) result;
   recv : unit -> (string, error) result;
@@ -88,6 +95,7 @@ type t = {
   wait_fd : unit -> Unix.file_descr option;
   close : unit -> unit;
   peer : string;
+  counters : counters;
 }
 
 (* Writing to a peer that already closed raises SIGPIPE, which would kill
@@ -116,6 +124,10 @@ let write_all fd s =
 let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd =
   Lazy.force ignore_sigpipe;
   let decoder = Frame.create () in
+  (* Counters are logical — the frame as handed over / decoded, before
+     any chaos mangling — so v1-vs-v2 wire cost comparisons stay
+     deterministic. One sent frame ~ one [write] syscall. *)
+  let counters = { frames_out = 0; frames_in = 0; bytes_out = 0; bytes_in = 0 } in
   let closed = ref false in
   let close () =
     if not !closed then begin
@@ -127,12 +139,22 @@ let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd 
     if !closed then Error Closed
     else if String.length payload > max_frame then
       Error (Frame_too_large (String.length payload))
-    else
-      List.fold_left
-        (fun acc chunk ->
-          match acc with Error _ -> acc | Ok () -> write_all fd chunk)
-        (Ok ())
-        (mangle (Frame.encode payload))
+    else begin
+      let r =
+        List.fold_left
+          (fun acc chunk ->
+            match acc with Error _ -> acc | Ok () -> write_all fd chunk)
+          (Ok ())
+          (mangle (Frame.encode payload))
+      in
+      (match r with
+      | Ok () ->
+          counters.frames_out <- counters.frames_out + 1;
+          counters.bytes_out <-
+            counters.bytes_out + header_bytes + String.length payload
+      | Error _ -> ());
+      r
+    end
   in
   let buf = Bytes.create 65536 in
   (* [Ok None] = no complete frame within [timeout_ms]; with 0 this is a
@@ -142,7 +164,11 @@ let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd 
     else
       match Frame.next decoder with
       | Error e -> Error e
-      | Ok (Some payload) -> Ok (Some payload)
+      | Ok (Some payload) ->
+          counters.frames_in <- counters.frames_in + 1;
+          counters.bytes_in <-
+            counters.bytes_in + header_bytes + String.length payload;
+          Ok (Some payload)
       | Ok None -> (
           let readable =
             let deadline = float_of_int timeout_ms /. 1000.0 in
@@ -177,7 +203,7 @@ let of_fd ?(recv_timeout_ms = 5000) ?(mangle = fun frame -> [ frame ]) ~peer fd 
     | Error e -> Error e
   in
   let wait_fd () = if !closed then None else Some fd in
-  { send; recv; try_recv; wait_fd; close; peer }
+  { send; recv; try_recv; wait_fd; close; peer; counters }
 
 let pair ?recv_timeout_ms ?mangle_a ?mangle_b () =
   let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
@@ -230,7 +256,7 @@ let listen_tcp ?(host = "127.0.0.1") ~port () =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Error (Io (Unix.error_message e)))
 
-let accept ?recv_timeout_ms listen_fd =
+let accept ?recv_timeout_ms ?mangle listen_fd =
   match Unix.accept listen_fd with
   | fd, addr ->
       let peer =
@@ -239,7 +265,7 @@ let accept ?recv_timeout_ms listen_fd =
             Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX p -> p
       in
-      Ok (of_fd ?recv_timeout_ms ~peer fd)
+      Ok (of_fd ?recv_timeout_ms ?mangle ~peer fd)
   | exception Unix.Unix_error (EINTR, _, _) -> Error (Io "interrupted")
   | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
 

@@ -55,6 +55,18 @@ module Frame : sig
   (** Bytes buffered but not yet consumed as a frame. *)
 end
 
+type counters = {
+  mutable frames_out : int;
+  mutable frames_in : int;
+  mutable bytes_out : int;
+  mutable bytes_in : int;
+}
+(** Logical wire traffic on one connection: frames and bytes (header
+    included) as handed to [send] / yielded by receive, counted before
+    any chaos mangling. One sent frame corresponds to one [write] call,
+    so [frames_out] doubles as a syscalls-per-test proxy for the wire
+    bench. Owned by the transport — treat as read-only. *)
+
 type t = {
   send : string -> (unit, error) result;
   recv : unit -> (string, error) result;
@@ -69,6 +81,7 @@ type t = {
           instead of calling [recv]. *)
   close : unit -> unit;  (** idempotent *)
   peer : string;  (** human-readable endpoint description *)
+  counters : counters;
 }
 (** One endpoint of a connection. Not thread-safe: a transport belongs to
     exactly one worker at a time. *)
@@ -102,7 +115,13 @@ val listen_tcp :
 (** Bound, listening socket plus the actual port (useful with [port = 0]
     for an ephemeral port). *)
 
-val accept : ?recv_timeout_ms:int -> Unix.file_descr -> (t, error) result
+val accept :
+  ?recv_timeout_ms:int ->
+  ?mangle:(string -> string list) ->
+  Unix.file_descr ->
+  (t, error) result
+(** [mangle] corrupts frames the server sends on the accepted connection
+    — the TCP-side hook the CI chaos matrix drives. *)
 
 (** {2 Transport fault injection} *)
 

@@ -701,6 +701,398 @@ let test_pool_rejects_bad_worker_mix () =
   Pool.shutdown pool;
   RM.Loopback.shutdown lb
 
+(* --- wire protocol v2: varints, stateful codecs, negotiation --- *)
+
+module V2 = Message.V2
+
+let test_varint_properties () =
+  let roundtrip_uv n =
+    let b = Buffer.create 10 in
+    V2.varint_encode b n;
+    match V2.varint_decode (Buffer.contents b) ~pos:0 with
+    | Ok (v, next) -> v = n && next = Buffer.length b
+    | Error _ -> false
+  in
+  let roundtrip_sv n =
+    let b = Buffer.create 10 in
+    V2.svarint_encode b n;
+    match V2.svarint_decode (Buffer.contents b) ~pos:0 with
+    | Ok (v, next) -> v = n && next = Buffer.length b
+    | Error _ -> false
+  in
+  (* Every byte-length boundary by hand, then random magnitudes. *)
+  List.iter
+    (fun n -> checkb (Printf.sprintf "uv %d round-trips" n) true (roundtrip_uv n))
+    [ 0; 1; 127; 128; 16_383; 16_384; 0x7FFF_FFFF; max_int ];
+  List.iter
+    (fun n -> checkb (Printf.sprintf "sv %d round-trips" n) true (roundtrip_sv n))
+    [ 0; 1; -1; 63; -64; 64; 12_345; -12_345; max_int; min_int ];
+  let any_int =
+    Prop.make
+      ~shrink:(fun n -> if n = 0 then [] else [ 0; n / 2 ])
+      ~show:string_of_int
+      (fun rng ->
+        let v = Rng.int rng (1 lsl Rng.int rng 62) in
+        if Rng.bernoulli rng 0.5 then -v - 1 else v)
+  in
+  Prop.check ~count:300 ~seed:7 "unsigned varint round-trip" any_int (fun n ->
+      roundtrip_uv (abs n));
+  Prop.check ~count:300 ~seed:8 "signed varint round-trip" any_int roundtrip_sv;
+  (* Totality: truncation, overflow, and the encoder's domain. *)
+  checkb "truncated varint is an error" true
+    (is_error (V2.varint_decode "\x80" ~pos:0));
+  checkb "pos past the end is an error" true
+    (is_error (V2.varint_decode "" ~pos:0));
+  checkb "overflowing varint is an error" true
+    (is_error (V2.varint_decode (String.make 10 '\xff') ~pos:0));
+  checkb "negative unsigned encode is rejected" true
+    (try
+       V2.varint_encode (Buffer.create 4) (-1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_v2_request_codec () =
+  (* Coalescing: many requests plus a shutdown in one frame payload,
+     decoded in order with scenarios intact. *)
+  let scenarios = sample_scenarios 8 in
+  let enc = V2.client_enc () in
+  let b = Buffer.create 512 in
+  List.iteri (fun i s -> V2.encode_request enc b ~seq:i s) scenarios;
+  V2.encode_shutdown b;
+  (match V2.decode_requests (V2.server_dec ()) (Buffer.contents b) with
+  | Error m -> Alcotest.failf "decode_requests: %s" m
+  | Ok msgs ->
+      checki "8 requests + shutdown" 9 (List.length msgs);
+      List.iteri
+        (fun i msg ->
+          match msg with
+          | Message.Run_scenario r when i < 8 ->
+              checki "seq" i r.seq;
+              checks "scenario"
+                (Scenario.to_string (List.nth scenarios i))
+                (Scenario.to_string r.scenario)
+          | Message.Shutdown when i = 8 -> ()
+          | _ -> Alcotest.failf "record %d decoded to the wrong message" i)
+        msgs);
+  (* Delta-encoding: the second send of a scenario rides the delta path
+     and is strictly smaller than the first full send. *)
+  let s = List.hd scenarios in
+  let enc2 = V2.client_enc () in
+  let b_full = Buffer.create 64 in
+  V2.encode_request enc2 b_full ~seq:0 s;
+  let b_delta = Buffer.create 64 in
+  V2.encode_request enc2 b_delta ~seq:1 s;
+  checkb "delta record is smaller than the full record" true
+    (Buffer.length b_delta < Buffer.length b_full);
+  let dec = V2.server_dec () in
+  (match V2.decode_requests dec (Buffer.contents b_full) with
+  | Ok [ Message.Run_scenario r ] ->
+      checks "full scenario" (Scenario.to_string s) (Scenario.to_string r.scenario)
+  | _ -> Alcotest.fail "full request must decode");
+  (match V2.decode_requests dec (Buffer.contents b_delta) with
+  | Ok [ Message.Run_scenario r ] ->
+      checks "delta reconstructs the scenario" (Scenario.to_string s)
+        (Scenario.to_string r.scenario)
+  | _ -> Alcotest.fail "delta request must decode");
+  (* A duplicated frame (chaos) replays a stale generation: skipped
+     silently, never re-run and never fatal. *)
+  (match V2.decode_requests dec (Buffer.contents b_full) with
+  | Ok [] -> ()
+  | _ -> Alcotest.fail "stale generation must be skipped, not re-run");
+  (* A dropped frame leaves a generation gap: connection-fatal. *)
+  checkb "generation gap is an error" true
+    (is_error (V2.decode_requests (V2.server_dec ()) (Buffer.contents b_delta)));
+  (* A corrupted scenario checksum (the record's last varint) is caught. *)
+  let corrupt = Bytes.of_string (Buffer.contents b_full) in
+  let last = Bytes.length corrupt - 1 in
+  Bytes.set corrupt last (Char.chr (Char.code (Bytes.get corrupt last) lxor 0x01));
+  checkb "checksum mismatch is an error" true
+    (is_error (V2.decode_requests (V2.server_dec ()) (Bytes.to_string corrupt)));
+  checkb "negative seq is rejected at encode time" true
+    (try
+       V2.encode_request (V2.client_enc ()) (Buffer.create 16) ~seq:(-1) s;
+       false
+     with Invalid_argument _ -> true)
+
+let test_v2_reply_roundtrip_property () =
+  Prop.check ~count:150 ~seed:2027 "v2 reply round-trip" report_arb (fun r ->
+      let senc = V2.server_enc () in
+      let cdec = V2.client_dec () in
+      let b = Buffer.create 256 in
+      V2.encode_reply senc b (Message.Scenario_result r);
+      match V2.decode_replies cdec (Buffer.contents b) with
+      | Ok [ Message.Scenario_result r' ] -> r' = r
+      | _ -> false);
+  List.iter
+    (fun (seq, message) ->
+      let b = Buffer.create 64 in
+      V2.encode_reply (V2.server_enc ()) b
+        (Message.Manager_error { seq; message });
+      match V2.decode_replies (V2.client_dec ()) (Buffer.contents b) with
+      | Ok [ Message.Manager_error { seq = seq'; message = message' } ] ->
+          checki "error seq" seq seq';
+          checks "error message" message message'
+      | _ -> Alcotest.failf "manager error %S did not round-trip" message)
+    [ (1, "plain failure"); (-1, "undecodable"); (7, ""); (3, "multi\nline") ]
+
+let test_v2_dict_interning () =
+  (* One connection's worth of codec state: the first report announces
+     its stack frames in a DICT record; repeats ship bare int ids. *)
+  let r =
+    {
+      (random_report (Rng.create 9)) with
+      Message.injection_stack = Some [ "alpha"; "beta" ];
+      crash_stack = Some [ "beta"; "gamma" ];
+    }
+  in
+  let senc = V2.server_enc () in
+  let cdec = V2.client_dec () in
+  let encode_once () =
+    let b = Buffer.create 128 in
+    V2.encode_reply senc b (Message.Scenario_result r);
+    Buffer.contents b
+  in
+  let first = encode_once () in
+  let second = encode_once () in
+  checkb "steady-state reply is smaller (no DICT re-announcement)" true
+    (String.length second < String.length first);
+  List.iter
+    (fun payload ->
+      match V2.decode_replies cdec payload with
+      | Ok [ Message.Scenario_result r' ] ->
+          checkb "report survives interning" true (r' = r)
+      | _ -> Alcotest.fail "interned reply must decode")
+    [ first; second ];
+  (* 3 unique stack frames + the fault descriptor. *)
+  checki "server interned 4 unique strings" 4 (V2.server_dict_size senc);
+  checki "client mirrors the dictionary" 4 (V2.client_dict_size cdec)
+
+let test_v2_desync_is_error () =
+  let report stack =
+    {
+      (random_report (Rng.create 9)) with
+      Message.injection_stack = Some stack;
+      crash_stack = None;
+    }
+  in
+  let encode senc stack =
+    let b = Buffer.create 128 in
+    V2.encode_reply senc b (Message.Scenario_result (report stack));
+    Buffer.contents b
+  in
+  (* Dropped DICT frame: the next announcement's base id leaves a gap. *)
+  let senc = V2.server_enc () in
+  let b1 = encode senc [ "a" ] in
+  let b2 = encode senc [ "a"; "new-frame" ] in
+  checkb "dictionary gap is an error" true
+    (is_error (V2.decode_replies (V2.client_dec ()) b2));
+  (* Steady-state reply (ids only, no DICT) hitting a fresh decoder:
+     unknown id, not a silently wrong stack. *)
+  let b3 = encode senc [ "a" ] in
+  checkb "unknown stack-frame id is an error" true
+    (is_error (V2.decode_replies (V2.client_dec ()) b3));
+  (* Conflicting redefinition: a DICT record from a different connection
+     claiming an id the decoder already holds. *)
+  let cdec = V2.client_dec () in
+  (match V2.decode_replies cdec b1 with
+  | Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "first reply must decode");
+  let b_conflict = encode (V2.server_enc ()) [ "zzz" ] in
+  checkb "conflicting redefinition is an error" true
+    (is_error (V2.decode_replies cdec b_conflict));
+  (* A duplicated reply frame redefines its entries identically: a
+     no-op for the dictionary, and the stale result is the caller's
+     (sequence-matching) problem — never a decode error. *)
+  let cdec2 = V2.client_dec () in
+  (match (V2.decode_replies cdec2 b1, V2.decode_replies cdec2 b1) with
+  | Ok [ _ ], Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "a duplicated reply frame must decode cleanly");
+  (* The fault descriptor and one stack frame, interned exactly once. *)
+  checki "duplicate DICT did not grow the dictionary" 2
+    (V2.client_dict_size cdec2)
+
+let test_decoder_chunk_granularity () =
+  (* Satellite: the frame decoder fed v1 (text) and v2 (binary) frames
+     at every chunk granularity 1-7 bytes — chunks landing mid-header,
+     mid-payload and across frame boundaries — must produce identical
+     results. *)
+  let v1_payloads =
+    [
+      Message.encode_hello ~version:1;
+      Message.encode_to_manager Message.Shutdown;
+      Message.encode_from_manager
+        (Message.Scenario_result (random_report (Rng.create 2)));
+    ]
+  in
+  let senc = V2.server_enc () in
+  let v2_payload i =
+    let b = Buffer.create 128 in
+    V2.encode_reply senc b (Message.Scenario_result (random_report (Rng.create i)));
+    Buffer.contents b
+  in
+  let payloads = v1_payloads @ List.map v2_payload [ 3; 4; 5 ] in
+  let stream = String.concat "" (List.map Transport.Frame.encode payloads) in
+  let reference = get_ok "whole-stream decode" (decode_all stream) in
+  checkb "whole-stream decode returns the inputs" true (reference = payloads);
+  let decode_v2_tail ps =
+    (* The v2 payloads decoded with fresh per-"connection" codec state. *)
+    let cdec = V2.client_dec () in
+    List.concat_map
+      (fun p -> get_ok "v2 payload decode" (V2.decode_replies cdec p))
+      (List.filteri (fun i _ -> i >= List.length v1_payloads) ps)
+  in
+  let reference_replies = decode_v2_tail reference in
+  checki "three v2 replies in the stream" 3 (List.length reference_replies);
+  for k = 1 to 7 do
+    let d = Transport.Frame.create () in
+    let acc = ref [] in
+    let n = String.length stream in
+    let pos = ref 0 in
+    while !pos < n do
+      let len = min k (n - !pos) in
+      Transport.Frame.feed d (String.sub stream !pos len);
+      pos := !pos + len;
+      let rec drain_frames () =
+        match Transport.Frame.next d with
+        | Ok (Some p) ->
+            acc := p :: !acc;
+            drain_frames ()
+        | Ok None -> ()
+        | Error e ->
+            Alcotest.failf "chunk %d: %s" k (Transport.string_of_error e)
+      in
+      drain_frames ()
+    done;
+    let got = List.rev !acc in
+    checkb (Printf.sprintf "chunk granularity %d matches whole-stream" k) true
+      (got = reference);
+    checkb
+      (Printf.sprintf "v2 replies identical at granularity %d" k)
+      true
+      (decode_v2_tail got = reference_replies)
+  done
+
+let test_wire_negotiation_downgrade () =
+  let exec = executor () in
+  let total_blocks = exec.Afex.Executor.total_blocks in
+  let scenarios = sample_scenarios 5 in
+  let against ?wire ~wire_max () =
+    let lb = RM.Loopback.create ~wire_max ~executor:exec () in
+    let rm = RM.create (RM.Loopback.spec ?wire lb) ~total_blocks in
+    List.iter
+      (fun scenario ->
+        let remote = get_ok "run_scenario" (RM.run_scenario rm scenario) in
+        checkb "outcome equal across negotiation" true
+          (outcome_equal remote (exec.Afex.Executor.run_scenario scenario)))
+      scenarios;
+    let s = RM.stats rm in
+    RM.close rm;
+    RM.Loopback.shutdown lb;
+    s
+  in
+  (* A v2 client meeting a v1-only manager: rejected, redials offering
+     v1, counts the downgrade — and the outcomes are unaffected. *)
+  let s = against ~wire_max:1 () in
+  checki "negotiated down to v1" 1 s.RM.wire;
+  checki "the downgrade was counted" 1 s.RM.wire_downgrades;
+  (* A client pinned to v1 against a v2-capable manager: plain v1, no
+     downgrade (nothing was rejected). *)
+  let s = against ~wire:1 ~wire_max:Message.protocol_version_max () in
+  checki "pinned v1 negotiates v1" 1 s.RM.wire;
+  checki "pinning is not a downgrade" 0 s.RM.wire_downgrades;
+  (* Both sides v2: the default. *)
+  let s = against ~wire_max:Message.protocol_version_max () in
+  checki "v2 negotiated by default" 2 s.RM.wire;
+  checki "no downgrade" 0 s.RM.wire_downgrades;
+  checkb "frames were counted" true (s.RM.frames_out > 0 && s.RM.frames_in > 0);
+  checkb "bytes were counted" true (s.RM.bytes_out > 0 && s.RM.bytes_in > 0);
+  (* Spec validation: versions this build cannot speak are caught at
+     construction, not on the wire. *)
+  let dead () = Error (Transport.Io "unused") in
+  List.iter
+    (fun f ->
+      checkb "invalid spec rejected" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [
+      (fun () -> RM.spec ~wire:0 ~name:"x" dead);
+      (fun () -> RM.spec ~wire:(Message.protocol_version_max + 1) ~name:"x" dead);
+      (fun () -> RM.spec ~flush_bytes:0 ~name:"x" dead);
+    ]
+
+let test_pipelined_coalescing () =
+  (* Several submits under the default 8 KiB flush threshold sit in the
+     coalescing buffer, then travel as ONE frame: handshake + batch =
+     exactly two frames out, against six requests. *)
+  let exec = executor () in
+  let total_blocks = exec.Afex.Executor.total_blocks in
+  let lb = RM.Loopback.create ~executor:exec () in
+  let conn = RM.Pipelined.create (RM.Loopback.spec lb) ~total_blocks in
+  let scenarios = Array.of_list (sample_scenarios 6) in
+  Array.iteri
+    (fun i s ->
+      match RM.Pipelined.submit conn ~tag:i s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "submit: %s" (RM.string_of_error e))
+    scenarios;
+  checkb "requests coalesce in the buffer" true (RM.Pipelined.buffered conn > 0);
+  checki "all six pending" 6 (RM.Pipelined.pending conn);
+  (match RM.Pipelined.flush conn with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "flush: %s" (RM.string_of_error e));
+  checki "flush drained the buffer" 0 (RM.Pipelined.buffered conn);
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let results = ref [] in
+  while List.length !results < 6 && Unix.gettimeofday () < deadline do
+    match RM.Pipelined.drain conn with
+    | [] -> Unix.sleepf 0.002
+    | rs -> results := rs @ !results
+  done;
+  checki "all six answered" 6 (List.length !results);
+  checkb "no orphans on a clean wire" true (RM.Pipelined.take_orphans conn = []);
+  List.iter
+    (fun (tag, r) ->
+      let outcome = get_ok "pipelined outcome" r in
+      checkb "pipelined outcome equals local" true
+        (outcome_equal outcome
+           (exec.Afex.Executor.run_scenario scenarios.(tag))))
+    !results;
+  let s = RM.Pipelined.stats conn in
+  checki "six requests" 6 s.RM.requests;
+  checki "exactly two frames out: HELLO + one coalesced batch" 2 s.RM.frames_out;
+  checkb "fewer frames than requests" true (s.RM.frames_out < s.RM.requests);
+  RM.Pipelined.close conn;
+  RM.Loopback.shutdown lb
+
+let test_pool_wire_version_matrix () =
+  (* The acceptance matrix in-process: explored histories over v2, v1,
+     and a forced v2->v1 downgrade are all byte-identical to local.
+     (The chaos leg rides [test_pool_chaotic_remote_matches_local],
+     which negotiates v2 by default.) *)
+  let exec = executor () in
+  let local, _ = pool_history ~jobs:1 ~seed:41 () in
+  let leg ?wire ?wire_max () =
+    let lb = RM.Loopback.create ?wire_max ~executor:exec () in
+    let h, stats =
+      pool_history ~remotes:[ RM.Loopback.spec ?wire lb ] ~jobs:0 ~seed:41 ()
+    in
+    RM.Loopback.shutdown lb;
+    (h, stats)
+  in
+  let v2, s2 = leg () in
+  checkb "v2 history equals local" true (v2 = local);
+  checki "no downgrade when both sides speak v2" 0 s2.Pool.wire_downgrades;
+  let v1, s1 = leg ~wire:1 () in
+  checkb "pinned-v1 history equals local" true (v1 = local);
+  checki "pinning is not a downgrade" 0 s1.Pool.wire_downgrades;
+  let down, s0 = leg ~wire_max:1 () in
+  checkb "downgraded history equals local" true (down = local);
+  checkb "the pool surfaced the downgrade" true (s0.Pool.wire_downgrades >= 1);
+  checkb "the downgraded wire still carried the runs" true
+    (s0.Pool.remote_runs > 0)
+
 let suite =
   List.map
     (fun (n, f) -> Alcotest.test_case n `Quick f)
@@ -734,4 +1126,13 @@ let suite =
       ("pool: chaotic remote matches local", test_pool_chaotic_remote_matches_local);
       ("pool: dead remote falls back", test_pool_dead_remote_falls_back);
       ("pool: rejects bad worker mix", test_pool_rejects_bad_worker_mix);
+      ("v2: varint properties", test_varint_properties);
+      ("v2: request codec (coalesce, delta, desync)", test_v2_request_codec);
+      ("v2: reply round-trip (property)", test_v2_reply_roundtrip_property);
+      ("v2: dictionary interning reaches steady state", test_v2_dict_interning);
+      ("v2: desync is an error, never a wrong report", test_v2_desync_is_error);
+      ("frame decoder at chunk granularities 1-7", test_decoder_chunk_granularity);
+      ("wire negotiation and downgrade", test_wire_negotiation_downgrade);
+      ("pipelined requests coalesce into frames", test_pipelined_coalescing);
+      ("pool: wire version matrix matches local", test_pool_wire_version_matrix);
     ]
